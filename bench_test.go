@@ -1,0 +1,311 @@
+package rpkirisk
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md's per-experiment index). Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Each BenchmarkFigure*/BenchmarkTable*/BenchmarkSideEffect* executes the
+// corresponding experiment end to end — building the hierarchy with real
+// cryptographic objects, performing the manipulation, validating, and
+// checking the paper's shape claims. Micro-benchmarks for the hot paths
+// follow at the bottom.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/ipres"
+	"repro/internal/repo"
+	"repro/internal/rov"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatalf("shape checks failed: %+v", r.Failed())
+		}
+	}
+}
+
+// BenchmarkFigure1DependencyLoop exercises every edge of the paper's
+// Figure 1 dependency loop.
+func BenchmarkFigure1DependencyLoop(b *testing.B) {
+	benchExperiment(b, experiments.Figure1)
+}
+
+// BenchmarkFigure2ModelRPKI builds and fully validates the model hierarchy.
+func BenchmarkFigure2ModelRPKI(b *testing.B) {
+	benchExperiment(b, experiments.Figure2)
+}
+
+// BenchmarkFigure3MakeBeforeBreak plans and executes the grandparent whack
+// with make-before-break reissuance.
+func BenchmarkFigure3MakeBeforeBreak(b *testing.B) {
+	benchExperiment(b, experiments.Figure3)
+}
+
+// BenchmarkTable4CrossBorder reproduces the cross-jurisdiction table and
+// the synthetic rate measurement.
+func BenchmarkTable4CrossBorder(b *testing.B) {
+	benchExperiment(b, experiments.Table4)
+}
+
+// BenchmarkFigure5Validity computes both validity-grid panels.
+func BenchmarkFigure5Validity(b *testing.B) {
+	benchExperiment(b, experiments.Figure5)
+}
+
+// BenchmarkTable6PolicyTradeoff measures reachability under policy × threat.
+func BenchmarkTable6PolicyTradeoff(b *testing.B) {
+	benchExperiment(b, experiments.Table6)
+}
+
+// BenchmarkSideEffect12Reclamation contrasts revocation with stealthy
+// deletion.
+func BenchmarkSideEffect12Reclamation(b *testing.B) {
+	benchExperiment(b, experiments.SideEffects12)
+}
+
+// BenchmarkSideEffect34TargetedWhack quantifies surgical whacking against
+// the revocation baseline, including the deep (great-grandchild) variant.
+func BenchmarkSideEffect34TargetedWhack(b *testing.B) {
+	benchExperiment(b, experiments.SideEffects34)
+}
+
+// BenchmarkSideEffect6MissingROA flips a route to invalid by losing a ROA.
+func BenchmarkSideEffect6MissingROA(b *testing.B) {
+	benchExperiment(b, experiments.SideEffect6)
+}
+
+// BenchmarkSideEffect7Circularity runs the transient-fault persistence
+// timeline on the RPKI↔BGP loop.
+func BenchmarkSideEffect7Circularity(b *testing.B) {
+	benchExperiment(b, experiments.SideEffect7)
+}
+
+// --- Micro-benchmarks for the substrates' hot paths. ---
+
+// BenchmarkValidateModelWorld is the in-process relying-party sync of the
+// Figure 2 world (certificate chains, CMS verification, manifests).
+func BenchmarkValidateModelWorld(b *testing.B) {
+	w, err := NewModelWorld(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Validate(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ROAsAccepted != 8 {
+			b.Fatalf("ROAs = %d", res.ROAsAccepted)
+		}
+	}
+}
+
+// BenchmarkROVClassify measures route classification against the model
+// VRP set.
+func BenchmarkROVClassify(b *testing.B) {
+	w, err := NewModelWorld(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Validate(context.Background(), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := res.Index()
+	route := rov.Route{Prefix: MustParsePrefix("63.174.17.0/24"), Origin: 17054}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := ix.State(route); s != rov.Invalid {
+			b.Fatalf("state = %v", s)
+		}
+	}
+}
+
+// BenchmarkValidityGrid computes the Figure 5 grid for one origin.
+func BenchmarkValidityGrid(b *testing.B) {
+	w, err := NewModelWorld(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Validate(context.Background(), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := res.Index()
+	base := MustParsePrefix("63.160.0.0/12")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := ix.ValidityGrid(base, 24, []ipres.ASN{17054})
+		if len(cells) == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkResourceSetSubtract measures the set algebra used by whack
+// planning.
+func BenchmarkResourceSetSubtract(b *testing.B) {
+	parent := ipres.MustParseSet("63.160.0.0/12")
+	holes := ipres.MustParseSet("63.174.16.0/22, 63.174.20.0/22, 63.174.25.0/24, 63.174.26.0/23")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parent.Subtract(holes).IsEmpty() {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkSyntheticWorldValidation validates a production-scale synthetic
+// deployment (~1300 ROAs, footnote 4).
+func BenchmarkSyntheticWorldValidation(b *testing.B) {
+	w, err := NewSyntheticWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Validate(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ROAsAccepted < 1200 {
+			b.Fatalf("ROAs = %d", res.ROAsAccepted)
+		}
+	}
+}
+
+// BenchmarkGeoSynthetic measures the jurisdiction model generation and
+// analysis at production scale.
+func BenchmarkGeoSynthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := geo.Analyze(geo.Synthetic(geo.SyntheticConfig{
+			Seed: 2013, Holdings: 1300, CrossBorderProb: 0.15, SubAllocationsPerHolding: 6,
+		}))
+		if stats.CrossBorder == 0 {
+			b.Fatal("no cross-border holdings")
+		}
+	}
+}
+
+// BenchmarkExtSuspenders runs the fail-safe ablation (grace cache vs the
+// circular dependency).
+func BenchmarkExtSuspenders(b *testing.B) {
+	benchExperiment(b, experiments.ExtSuspenders)
+}
+
+// BenchmarkExtCollateral measures the collateral-damage distribution on a
+// synthetic deployment.
+func BenchmarkExtCollateral(b *testing.B) {
+	benchExperiment(b, experiments.ExtCollateral)
+}
+
+// BenchmarkExtMonitor measures monitor precision under benign churn.
+func BenchmarkExtMonitor(b *testing.B) {
+	benchExperiment(b, experiments.ExtMonitor)
+}
+
+// BenchmarkWhackPlanning isolates the planner (no crypto) on the model.
+func BenchmarkWhackPlanning(b *testing.B) {
+	w, err := NewModelWorld(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner := &core.Planner{Manipulator: w.MustAuthority("sprint")}
+	target := core.Target{Holder: w.MustAuthority("continental"), Name: "cont-20"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := planner.Plan(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Method != core.MethodShrink {
+			b.Fatalf("method = %v", plan.Method)
+		}
+	}
+}
+
+// BenchmarkBGPConvergence measures route propagation on the Table 6
+// topology.
+func BenchmarkBGPConvergence(b *testing.B) {
+	n := bgp.NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 10, 20, 30, 40} {
+		n.AddAS(asn, bgp.PolicyDropInvalid)
+	}
+	_ = n.PeerOf(10, 20)
+	_ = n.ProviderOf(10, 30)
+	_ = n.ProviderOf(20, 40)
+	_ = n.ProviderOf(10, 1)
+	_ = n.ProviderOf(30, 1)
+	_ = n.ProviderOf(20, 666)
+	_ = n.ProviderOf(40, 666)
+	_ = n.Originate(1, MustParsePrefix("63.174.16.0/22"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Originate(666, MustParsePrefix("63.174.17.0/24"))
+		if err := n.Converge(); err != nil {
+			b.Fatal(err)
+		}
+		_ = n.Withdraw(666, MustParsePrefix("63.174.17.0/24"))
+		if err := n.Converge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchFullVsIncremental is the sync-mode ablation: a full
+// re-download against a STAT-driven incremental sync of an unchanged
+// publication point, over real TCP.
+func BenchmarkFetchFullVsIncremental(b *testing.B) {
+	w, err := NewModelWorld(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, stop, err := Serve(w, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	client := ClientFor(addr, 10*time.Second)
+	ctx := context.Background()
+	uri := repo.URI{Host: addr, Module: "continental"}
+
+	prev, err := client.FetchAll(ctx, uri)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.FetchAll(ctx, uri); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := client.SyncIncremental(ctx, uri, prev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Downloaded != 0 {
+				b.Fatalf("unchanged module downloaded %d objects", res.Downloaded)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+// Command rpki-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rpki-experiments [-run all|figure1|figure2|figure3|table4|figure5|table6|se12|se34|se6|se7] [-list]
+//
+// Each experiment prints its artifact (the table or figure content), the
+// measured metrics, and the shape checks asserting the paper's qualitative
+// claims. The exit status is non-zero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rpkirisk "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	format := flag.String("format", "text", "output format: text or markdown")
+	flag.Parse()
+
+	if *list {
+		for _, e := range rpkirisk.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	results, err := rpkirisk.RunExperiment(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, r := range results {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	switch *format {
+	case "markdown":
+		fmt.Print(experiments.Markdown(results))
+	case "text":
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	fmt.Printf("%d/%d experiments passed all shape checks\n", len(results)-failed, len(results))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

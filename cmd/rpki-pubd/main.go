@@ -1,0 +1,69 @@
+// Command rpki-pubd serves the publication points of an RPKI world over
+// the rsynclite protocol and writes a trust anchor locator so relying
+// parties (rpki-rp) can bootstrap.
+//
+// Usage:
+//
+//	rpki-pubd [-listen 127.0.0.1:8873] [-tal arin.tal] [-world figure2|figure2+cover|synthetic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	rpkirisk "repro"
+	"repro/internal/modelgen"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8873", "address to serve on")
+	talPath := flag.String("tal", "arin.tal", "path to write the trust anchor locator")
+	world := flag.String("world", "figure2", "world to serve: figure2, figure2+cover, synthetic")
+	seed := flag.Int64("seed", 2013, "seed for -world synthetic")
+	flag.Parse()
+
+	var (
+		w   *modelgen.World
+		err error
+	)
+	switch *world {
+	case "figure2":
+		w, err = rpkirisk.NewLiveModelWorld(false)
+	case "figure2+cover":
+		w, err = rpkirisk.NewLiveModelWorld(true)
+	case "synthetic":
+		w, err = rpkirisk.NewLiveSyntheticWorld(*seed)
+	default:
+		err = fmt.Errorf("unknown world %q", *world)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	addr, stop, err := rpkirisk.Serve(w, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer stop()
+	if err := rpkirisk.WriteTAL(w, *talPath); err != nil {
+		fmt.Fprintln(os.Stderr, "error writing TAL:", err)
+		os.Exit(1)
+	}
+
+	modules := 0
+	for range w.Stores {
+		modules++
+	}
+	fmt.Printf("serving %d publication points on %s (TAL: %s)\n", modules, addr, *talPath)
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

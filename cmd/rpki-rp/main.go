@@ -1,0 +1,111 @@
+// Command rpki-rp is the relying-party daemon: it bootstraps from a trust
+// anchor locator, fetches and validates the RPKI over TCP, prints the
+// validated cache (VRPs), and optionally serves it to routers over the
+// RPKI-to-Router protocol.
+//
+// Usage:
+//
+//	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rpkirisk "repro"
+	"repro/internal/rp"
+)
+
+func main() {
+	talPath := flag.String("tal", "arin.tal", "trust anchor locator path")
+	server := flag.String("server", "127.0.0.1:8873", "rsynclite server address")
+	rtrAddr := flag.String("rtr", "", "serve RTR on this address (empty: disabled)")
+	policy := flag.String("policy", "best-effort", "missing-information policy: best-effort or drop-pubpoint")
+	interval := flag.Duration("interval", 0, "resync interval (0: sync once and exit unless -rtr)")
+	flag.Parse()
+
+	anchor, err := rpkirisk.ReadTAL(*talPath)
+	if err != nil {
+		fatal(err)
+	}
+	var missing rp.MissingPolicy
+	switch *policy {
+	case "best-effort":
+		missing = rp.BestEffort
+	case "drop-pubpoint":
+		missing = rp.DropPublicationPoint
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	relying := rp.New(rp.Config{
+		Fetcher: rpkirisk.ClientFor(*server, 10*time.Second),
+		Policy:  missing,
+	}, anchor)
+
+	sync := func() *rp.Result {
+		result, err := relying.Sync(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("synced: %d CAs, %d ROAs, %d VRPs", result.CertsAccepted, result.ROAsAccepted, len(result.VRPs))
+		if result.Incomplete() {
+			fmt.Printf(" — CACHE INCOMPLETE (%d diagnostics)\n", len(result.Diagnostics))
+			for _, d := range result.Diagnostics {
+				fmt.Printf("  %v\n", d)
+			}
+		} else {
+			fmt.Println(" — cache complete")
+		}
+		for _, v := range result.VRPs {
+			fmt.Printf("  vrp %v\n", v)
+		}
+		return result
+	}
+
+	result := sync()
+	if *rtrAddr == "" && *interval == 0 {
+		return
+	}
+
+	var updateCache func(*rp.Result)
+	if *rtrAddr != "" {
+		bound, cache, stopRTR, err := rpkirisk.ServeRTR(*rtrAddr, result.VRPs)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopRTR()
+		fmt.Printf("RTR server on %s (serial %d)\n", bound, cache.Serial())
+		updateCache = func(r *rp.Result) { cache.SetVRPs(r.VRPs) }
+	}
+
+	if *interval == 0 {
+		*interval = 30 * time.Second
+	}
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick.C:
+			r := sync()
+			if updateCache != nil {
+				updateCache(r)
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command rpki-tree prints an RPKI hierarchy with relying-party validation
+// annotations: every authority, its certified resources, its ROAs, and
+// each ROA's effect on route validity.
+//
+// Usage:
+//
+//	rpki-tree [-world figure2|figure2+cover|synthetic] [-seed N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	rpkirisk "repro"
+	"repro/internal/modelgen"
+	"repro/internal/rov"
+)
+
+func main() {
+	world := flag.String("world", "figure2", "world to build: figure2, figure2+cover, synthetic")
+	seed := flag.Int64("seed", 2013, "seed for -world synthetic")
+	flag.Parse()
+
+	var (
+		w   *modelgen.World
+		err error
+	)
+	switch *world {
+	case "figure2":
+		w, err = rpkirisk.NewLiveModelWorld(false)
+	case "figure2+cover":
+		w, err = rpkirisk.NewLiveModelWorld(true)
+	case "synthetic":
+		w, err = rpkirisk.NewLiveSyntheticWorld(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown world %q\n", *world)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	res, err := rpkirisk.Validate(context.Background(), w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	ix := res.Index()
+	printTree(w, ix, w.TA.Name, "")
+	fmt.Printf("\n%d authorities, %d ROAs validated", res.CertsAccepted, res.ROAsAccepted)
+	if res.Incomplete() {
+		fmt.Printf(", %d diagnostics:\n", len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			fmt.Printf("  %v\n", d)
+		}
+	} else {
+		fmt.Println(", cache complete")
+	}
+}
+
+func printTree(w *modelgen.World, ix *rov.Index, name, indent string) {
+	a := w.MustAuthority(name)
+	fmt.Printf("%s%s  [%v]\n", indent, a.Name, a.Resources())
+	for _, roaName := range a.ROAs() {
+		ro, _ := a.ROA(roaName)
+		// Annotate with the authorized route's current state.
+		state := "?"
+		if len(ro.Prefixes) > 0 {
+			s := ix.State(rov.Route{Prefix: ro.Prefixes[0].Prefix, Origin: ro.ASID})
+			state = s.String()
+		}
+		fmt.Printf("%s  ROA %v → %s\n", indent, ro, state)
+	}
+	children := a.Children()
+	sort.Strings(children)
+	for _, child := range children {
+		printTree(w, ix, child, indent+"    ")
+	}
+}

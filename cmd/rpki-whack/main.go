@@ -1,0 +1,102 @@
+// Command rpki-whack is the attack console: it plans and (optionally)
+// executes a whack against a ROA in the model hierarchy, reporting the
+// method chosen, the carved hole, collateral damage, the monitor-visible
+// footprint, and the before/after validation state.
+//
+// Usage:
+//
+//	rpki-whack -manipulator sprint -holder continental -roa cont-20 [-method auto|revoke] [-dry-run]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	rpkirisk "repro"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/rov"
+)
+
+func main() {
+	manipulator := flag.String("manipulator", "sprint", "acting authority")
+	holder := flag.String("holder", "continental", "authority that issued the target ROA")
+	roaName := flag.String("roa", "cont-20", "target ROA name")
+	method := flag.String("method", "auto", "auto (most surgical) or revoke (blunt subtree revocation)")
+	dryRun := flag.Bool("dry-run", false, "plan only; do not execute")
+	flag.Parse()
+
+	w, err := rpkirisk.NewLiveModelWorld(false)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := w.Authority(*manipulator)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := w.Authority(*holder)
+	if err != nil {
+		fatal(err)
+	}
+	target := core.Target{Holder: h, Name: *roaName}
+	ro, ok := h.ROA(*roaName)
+	if !ok {
+		fatal(fmt.Errorf("%s has no ROA %q (available: %v)", *holder, *roaName, h.ROAs()))
+	}
+	route := rov.Route{Prefix: ro.Prefixes[0].Prefix, Origin: ro.ASID}
+
+	planner := &core.Planner{Manipulator: m}
+	var plan *core.Plan
+	switch *method {
+	case "auto":
+		plan, err = planner.Plan(target)
+	case "revoke":
+		plan, err = planner.PlanRevokeSubtree(target)
+	default:
+		err = fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan)
+	if *dryRun {
+		fmt.Println("\n(dry run — not executed)")
+		return
+	}
+
+	before, err := rpkirisk.Validate(context.Background(), w)
+	if err != nil {
+		fatal(err)
+	}
+	watcher := monitor.NewWatcher()
+	for module, store := range w.Stores {
+		watcher.Observe(module, store.Snapshot())
+	}
+
+	if err := planner.Execute(plan); err != nil {
+		fatal(err)
+	}
+	after, err := rpkirisk.Validate(context.Background(), w)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\ntarget route %v: %v → %v\n", route, before.Index().State(route), after.Index().State(route))
+	fmt.Printf("validated ROAs: %d → %d\n", before.ROAsAccepted, after.ROAsAccepted)
+
+	var events []monitor.Event
+	for module, store := range w.Stores {
+		events = append(events, watcher.Observe(module, store.Snapshot())...)
+	}
+	fmt.Printf("\nwhat a monitor would see (%d events):\n", len(events))
+	for _, e := range events {
+		fmt.Printf("  %v\n", e)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,210 @@
+package rpkirisk
+
+// Smoke tests for the command-line tools: each binary is built once and
+// exercised end to end — including a live pubd → rp → monitor session over
+// loopback TCP.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildCommands compiles every cmd/ binary into a shared temp dir.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "rpkirisk-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = errBuild(string(out))
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building commands: %v", buildErr)
+	}
+	return binDir
+}
+
+type errBuild string
+
+func (e errBuild) Error() string { return string(e) }
+
+// syncBuffer is a mutex-guarded buffer safe to read while exec's pipe
+// copier writes into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func runCmd(t *testing.T, timeout time.Duration, name string, args ...string) (string, error) {
+	t.Helper()
+	bin := filepath.Join(buildCommands(t), name)
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return buf.String(), err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		<-done
+		return buf.String(), errBuild("timeout")
+	}
+}
+
+func TestCmdExperimentsList(t *testing.T) {
+	out, err := runCmd(t, 30*time.Second, "rpki-experiments", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"figure2", "table6", "se7", "ext-suspenders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestCmdExperimentsRunOne(t *testing.T) {
+	out, err := runCmd(t, 60*time.Second, "rpki-experiments", "-run", "table6")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "1/1 experiments passed") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCmdExperimentsMarkdown(t *testing.T) {
+	out, err := runCmd(t, 60*time.Second, "rpki-experiments", "-run", "se6", "-format", "markdown")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "## se6") || !strings.Contains(out, "| shape check |") {
+		t.Errorf("markdown output:\n%s", out)
+	}
+}
+
+func TestCmdTree(t *testing.T) {
+	out, err := runCmd(t, 60*time.Second, "rpki-tree")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"arin", "sprint", "continental", "cache complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdWhack(t *testing.T) {
+	out, err := runCmd(t, 60*time.Second, "rpki-whack",
+		"-manipulator", "sprint", "-holder", "continental", "-roa", "cont-20")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"plan[shrink]", "63.174.24.0/24", "rc-shrink"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("whack output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdWhackDryRun(t *testing.T) {
+	out, err := runCmd(t, 60*time.Second, "rpki-whack", "-method", "revoke", "-dry-run")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "dry run") || !strings.Contains(out, "revoke-subtree") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestCmdPubdRPMonitorSession wires pubd + rp + monitor as real processes.
+func TestCmdPubdRPMonitorSession(t *testing.T) {
+	dir := buildCommands(t)
+	tal := filepath.Join(t.TempDir(), "arin.tal")
+
+	pubd := exec.Command(filepath.Join(dir, "rpki-pubd"), "-listen", "127.0.0.1:0", "-tal", tal)
+	var pubdOut syncBuffer
+	pubd.Stdout = &pubdOut
+	pubd.Stderr = &pubdOut
+	if err := pubd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = pubd.Process.Kill()
+		_, _ = pubd.Process.Wait()
+	}()
+
+	// Wait for the TAL to be written and the serving line to print.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(tal); err == nil {
+			line := pubdOut.String()
+			if i := strings.Index(line, "points on "); i >= 0 {
+				rest := line[i+len("points on "):]
+				addr = strings.Fields(rest)[0]
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("pubd never became ready:\n%s", pubdOut.String())
+	}
+
+	// One-shot relying-party sync against the live server: pubd builds
+	// the world anchored at the wall clock, so validation must succeed
+	// completely.
+	rpOut, err := runCmd(t, 30*time.Second, "rpki-rp", "-tal", tal, "-server", addr)
+	if err != nil {
+		t.Fatalf("rp: %v\n%s", err, rpOut)
+	}
+	if !strings.Contains(rpOut, "cache complete") || !strings.Contains(rpOut, "8 VRPs") {
+		t.Errorf("rp output:\n%s", rpOut)
+	}
+
+	// Monitor baseline pass.
+	monOut, err := runCmd(t, 30*time.Second, "rpki-monitor", "-server", addr, "-once")
+	if err != nil {
+		t.Fatalf("monitor: %v\n%s", err, monOut)
+	}
+	if !strings.Contains(monOut, "watching 4 modules") {
+		t.Errorf("monitor output:\n%s", monOut)
+	}
+}

@@ -1,0 +1,76 @@
+// Policy tradeoff: the paper's Section 5 / Table 6. The same network,
+// two threats, two relying-party local policies — and no policy wins both:
+// drop-invalid stops the subprefix hijack but turns an RPKI manipulation
+// into an outage; depref-invalid does the opposite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rpkirisk "repro"
+	"repro/internal/bgp"
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+const (
+	victimAS   = ipres.ASN(1)
+	attackerAS = ipres.ASN(666)
+)
+
+var victimPrefix = rpkirisk.MustParsePrefix("63.174.16.0/22")
+
+// buildNetwork wires a small multihomed topology.
+func buildNetwork(policy bgp.Policy) *bgp.Network {
+	n := bgp.NewNetwork()
+	for _, asn := range []ipres.ASN{victimAS, attackerAS, 10, 20, 30, 40} {
+		n.AddAS(asn, policy)
+	}
+	check(n.PeerOf(10, 20))
+	check(n.ProviderOf(10, 30))
+	check(n.ProviderOf(20, 40))
+	check(n.ProviderOf(10, victimAS))
+	check(n.ProviderOf(30, victimAS))
+	check(n.ProviderOf(20, attackerAS))
+	check(n.ProviderOf(40, attackerAS))
+	check(n.Originate(victimAS, victimPrefix))
+	return n
+}
+
+func main() {
+	sources := []ipres.ASN{10, 20, 30, 40}
+	dst := rpkirisk.MustParseAddr("63.174.17.5")
+
+	fmt.Printf("%-16s | %-18s | %s\n", "policy", "subprefix hijack", "RPKI manipulation")
+	fmt.Println("-----------------+--------------------+------------------")
+	for _, policy := range []bgp.Policy{bgp.PolicyIgnore, bgp.PolicyDropInvalid, bgp.PolicyDeprefInvalid} {
+		// Threat A: subprefix hijack. The victim's ROA is intact; the
+		// attacker originates 63.174.17.0/24 inside the victim's /22.
+		hijack := buildNetwork(policy)
+		hijack.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: victimPrefix, MaxLength: 22, ASN: victimAS}))
+		check(hijack.Originate(attackerAS, rpkirisk.MustParsePrefix("63.174.17.0/24")))
+		fracHijack, _, err := hijack.ReachabilityMatrix(sources, dst, victimAS)
+		check(err)
+
+		// Threat B: RPKI manipulation. The victim's ROA has been whacked
+		// while a covering ROA remains — the route is invalid.
+		manip := buildNetwork(policy)
+		manip.SetSharedIndex(rov.NewIndex(rov.VRP{
+			Prefix: rpkirisk.MustParsePrefix("63.174.16.0/20"), MaxLength: 20, ASN: 17054,
+		}))
+		fracManip, _, err := manip.ReachabilityMatrix(sources, dst, victimAS)
+		check(err)
+
+		fmt.Printf("%-16s | %6.0f%% reachable   | %6.0f%% reachable\n",
+			policy, fracHijack*100, fracManip*100)
+	}
+	fmt.Println("\ndrop-invalid protects against BGP attacks at the cost of RPKI fragility;")
+	fmt.Println("depref-invalid does the reverse. The paper: balancing these is open.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

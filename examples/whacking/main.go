@@ -1,0 +1,93 @@
+// Whacking: the paper's Section 3 attacks, end to end. A manipulating
+// authority (Sprint) surgically invalidates ROAs issued by its descendants
+// — first the clean grandchild shrink (Side Effect 3), then the
+// make-before-break variant of Figure 3 — while a monitor watches.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	rpkirisk "repro"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/rov"
+)
+
+func main() {
+	fmt.Println("=== Whack 1: clean grandchild shrink (Side Effect 3) ===")
+	cleanShrink()
+	fmt.Println("\n=== Whack 2: make-before-break (Figure 3) ===")
+	makeBeforeBreak()
+}
+
+func cleanShrink() {
+	world, err := rpkirisk.NewModelWorld(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sprint := world.MustAuthority("sprint")
+	continental := world.MustAuthority("continental")
+
+	// Sprint targets Continental's ROA (63.174.16.0/20, AS17054).
+	planner := &core.Planner{Manipulator: sprint}
+	plan, err := planner.Plan(core.Target{Holder: continental, Name: "cont-20"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	// The planner found the paper's exact hole: 63.174.24.0/24 — inside
+	// the target ROA, outside every other object. Zero collateral.
+
+	watcher := monitor.NewWatcher()
+	watcher.Observe("sprint", world.Stores["sprint"].Snapshot())
+	if err := planner.Execute(plan); err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := rpkirisk.Validate(context.Background(), world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix := result.Index()
+	fmt.Printf("\ntarget   (63.174.16.0/20, AS17054): %v\n",
+		ix.State(rov.Route{Prefix: rpkirisk.MustParsePrefix("63.174.16.0/20"), Origin: 17054}))
+	fmt.Printf("sibling  (63.174.16.0/22, AS7341):  %v (no collateral damage)\n",
+		ix.State(rov.Route{Prefix: rpkirisk.MustParsePrefix("63.174.16.0/22"), Origin: 7341}))
+	for _, e := range watcher.Observe("sprint", world.Stores["sprint"].Snapshot()) {
+		fmt.Printf("monitor: %v\n", e)
+	}
+}
+
+func makeBeforeBreak() {
+	world, err := rpkirisk.NewModelWorld(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sprint := world.MustAuthority("sprint")
+	continental := world.MustAuthority("continental")
+
+	// This target is covered by Continental's own /20 ROA, so no clean
+	// hole exists: Sprint must reissue the /20 ROA as its own first.
+	planner := &core.Planner{Manipulator: sprint}
+	plan, err := planner.Plan(core.Target{Holder: continental, Name: "cont-22"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	if err := planner.Execute(plan); err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := rpkirisk.Validate(context.Background(), world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix := result.Index()
+	fmt.Printf("\ntarget    (63.174.16.0/22, AS7341):  %v\n",
+		ix.State(rov.Route{Prefix: rpkirisk.MustParsePrefix("63.174.16.0/22"), Origin: 7341}))
+	fmt.Printf("bystander (63.174.16.0/20, AS17054): %v (kept alive by Sprint's reissued ROA)\n",
+		ix.State(rov.Route{Prefix: rpkirisk.MustParsePrefix("63.174.16.0/20"), Origin: 17054}))
+	fmt.Printf("detectability: %d suspicious objects — the price of avoiding collateral\n", plan.Detectability())
+}

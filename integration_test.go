@@ -1,0 +1,355 @@
+package rpkirisk
+
+// Integration tests: full pipelines across module boundaries, over real
+// sockets where the paper's mechanics depend on delivery (Side Effects 6–7)
+// and in-process where they depend only on object state.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/ipres"
+	"repro/internal/monitor"
+	"repro/internal/repo"
+	"repro/internal/roa"
+	"repro/internal/rov"
+	"repro/internal/rp"
+	"repro/internal/rtr"
+)
+
+// TestPipelineWhackToRouter drives one whack through every layer: CA →
+// repository server (TCP) → relying party → RTR → router client → BGP
+// selection.
+func TestPipelineWhackToRouter(t *testing.T) {
+	world, err := NewModelWorld(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubAddr, stopPub, err := Serve(world, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopPub()
+
+	result, err := ValidateTCP(context.Background(), world, pubAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Incomplete() {
+		t.Fatalf("TCP sync incomplete: %v", result.Diagnostics)
+	}
+
+	rtrAddr, cache, stopRTR, err := ServeRTR("127.0.0.1:0", result.VRPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopRTR()
+	router := rtr.NewClient(rtrAddr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = router.Run(ctx) }()
+	if !router.WaitSynced(5 * time.Second) {
+		t.Fatal("router sync failed")
+	}
+
+	// BGP network fed from the router's RTR-learned table.
+	network := bgp.NewNetwork()
+	for _, asn := range []ipres.ASN{64999, 3356, 17054} {
+		network.AddAS(asn, bgp.PolicyDropInvalid)
+	}
+	mustOK(t, network.ProviderOf(3356, 64999))
+	mustOK(t, network.ProviderOf(3356, 17054))
+	mustOK(t, network.Originate(17054, MustParsePrefix("63.174.16.0/20")))
+	network.SetSharedIndex(rov.NewIndex(router.VRPs()...))
+	ok, err := network.CanReach(64999, MustParseAddr("63.174.23.0"), 17054)
+	if err != nil || !ok {
+		t.Fatalf("pre-whack reachability: %v %v", ok, err)
+	}
+
+	// The whack: Sprint surgically kills Continental's /20 ROA.
+	planner := &core.Planner{Manipulator: world.MustAuthority("sprint")}
+	plan, err := planner.Plan(core.Target{Holder: world.MustAuthority("continental"), Name: "cont-20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planner.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resync over TCP, push over RTR, re-evaluate BGP.
+	result2, err := ValidateTCP(context.Background(), world, pubAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetVRPs(result2.VRPs)
+	if !router.WaitSerial(cache.Serial(), 5*time.Second) {
+		t.Fatal("router update failed")
+	}
+	network.SetSharedIndex(rov.NewIndex(router.VRPs()...))
+	ok, err = network.CanReach(64999, MustParseAddr("63.174.23.0"), 17054)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("the whacked prefix should be unreachable under drop-invalid " +
+			"(route invalid via Sprint's covering /12-13 ROA)")
+	}
+}
+
+// TestPipelineServerFaultsVisibleToRP injects repository-server faults and
+// checks they surface as relying-party diagnostics over TCP.
+func TestPipelineServerFaultsVisibleToRP(t *testing.T) {
+	world, err := NewModelWorld(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := repo.NewServer()
+	faults := make(map[string]*repo.Faults)
+	for module, store := range world.Stores {
+		f := repo.NewFaults()
+		faults[module] = f
+		srv.AddModule(module, store, f)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sync := func(policy rp.MissingPolicy) *rp.Result {
+		t.Helper()
+		relying := rp.New(rp.Config{
+			Fetcher: ClientFor(addr, 5*time.Second),
+			Clock:   world.Clock,
+			Policy:  policy,
+		}, world.Anchor())
+		res, err := relying.Sync(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Clean baseline.
+	if res := sync(rp.BestEffort); res.Incomplete() {
+		t.Fatalf("baseline incomplete: %v", res.Diagnostics)
+	}
+
+	// A third party corrupts one ROA in flight: hash mismatch diagnosed,
+	// the rest of the tree survives.
+	faults["continental"].Corrupt("cont-20.roa")
+	res := sync(rp.BestEffort)
+	if !res.Incomplete() {
+		t.Fatal("corruption must be diagnosed")
+	}
+	sawHash := false
+	for _, d := range res.Diagnostics {
+		if d.Kind == rp.DiagHashMismatch && d.Object == "cont-20.roa" {
+			sawHash = true
+		}
+	}
+	if !sawHash {
+		t.Errorf("want hash-mismatch diagnostic, got %v", res.Diagnostics)
+	}
+	if res.ROAsAccepted != 7 {
+		t.Errorf("7 of 8 ROAs should survive, got %d", res.ROAsAccepted)
+	}
+
+	// The whole module refuses connections: fetch failure, subtree gone.
+	faults["continental"].Restore("")
+	faults["continental"].Refuse(true)
+	res = sync(rp.BestEffort)
+	sawFetch := false
+	for _, d := range res.Diagnostics {
+		if d.Kind == rp.DiagFetchFailure && d.Module == "continental" {
+			sawFetch = true
+		}
+	}
+	if !sawFetch {
+		t.Errorf("want fetch-failure diagnostic, got %v", res.Diagnostics)
+	}
+	ix := res.Index()
+	if ix.State(rov.Route{Prefix: MustParsePrefix("63.174.16.0/20"), Origin: 17054}) == rov.Valid {
+		t.Error("unreachable module's ROAs must be absent")
+	}
+	if ix.State(rov.Route{Prefix: MustParsePrefix("63.161.0.0/16"), Origin: 19429}) != rov.Valid {
+		t.Error("other modules must be unaffected")
+	}
+}
+
+// TestPipelineMonitorOverTCP runs the monitor against a live server while
+// the authority misbehaves.
+func TestPipelineMonitorOverTCP(t *testing.T) {
+	world, err := NewModelWorld(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop, err := Serve(world, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	client := &repo.Client{Timeout: 5 * time.Second}
+	watcher := monitor.NewWatcher()
+	observe := func(module string) []monitor.Event {
+		t.Helper()
+		files, err := client.FetchAll(context.Background(), repo.URI{Host: addr, Module: module})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return watcher.Observe(module, files)
+	}
+	observe("sprint") // baseline
+
+	// The attack happens between polls.
+	planner := &core.Planner{Manipulator: world.MustAuthority("sprint")}
+	plan, err := planner.Plan(core.Target{Holder: world.MustAuthority("continental"), Name: "cont-22"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planner.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	events := observe("sprint")
+	alerts := monitor.Filter(events, monitor.Alert)
+	if len(alerts) < 2 { // rc-shrink + suspicious-reissue
+		t.Errorf("want shrink+reissue alerts over TCP, got %v", events)
+	}
+}
+
+// TestPipelineKeyRolloverInvisible checks that a full key rollover — the
+// legitimate operation that motivated overwritable persistent names — is
+// indistinguishable from routine churn to both the relying party and the
+// monitor.
+func TestPipelineKeyRolloverInvisible(t *testing.T) {
+	world, err := NewModelWorld(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Validate(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watcher := monitor.NewWatcher()
+	for _, m := range []string{"arin", "sprint", "etb", "continental"} {
+		watcher.Observe(m, world.Stores[m].Snapshot())
+	}
+
+	if err := world.MustAuthority("sprint").RollKey(); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := Validate(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Incomplete() {
+		t.Fatalf("rollover broke validation: %v", after.Diagnostics)
+	}
+	if len(after.VRPs) != len(before.VRPs) {
+		t.Errorf("VRPs %d → %d across rollover", len(before.VRPs), len(after.VRPs))
+	}
+	var all []monitor.Event
+	for _, m := range []string{"arin", "sprint", "etb", "continental"} {
+		all = append(all, watcher.Observe(m, world.Stores[m].Snapshot())...)
+	}
+	if alerts := monitor.Filter(all, monitor.Warning); len(alerts) != 0 {
+		t.Errorf("rollover should not alarm the monitor: %v", alerts)
+	}
+}
+
+// TestPipelineExpiryTakesPrefixOffline advances the clock past certificate
+// lifetimes: the paper's "renewal of an expiring ROA could be delayed"
+// fault, with drop-invalid consequences.
+func TestPipelineExpiryTakesPrefixOffline(t *testing.T) {
+	world, err := NewModelWorld(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A relying party validating 400 days later: everything expired.
+	late := func() time.Time { return world.Clock().Add(400 * 24 * time.Hour) }
+	relying := rp.New(rp.Config{Fetcher: world.Stores, Clock: late}, world.Anchor())
+	res, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VRPs) != 0 {
+		t.Fatalf("expired world should yield no VRPs, got %d", len(res.VRPs))
+	}
+	expired := 0
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Err.Error(), "expired") {
+			expired++
+		}
+	}
+	if expired == 0 {
+		t.Error("expiry should be diagnosed explicitly")
+	}
+}
+
+// TestPipelineDeepWhackOverTCP executes a great-grandchild whack against a
+// served world and verifies the replacement-RC chain validates over the
+// wire.
+func TestPipelineDeepWhackOverTCP(t *testing.T) {
+	world, err := NewModelWorld(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallStore := repo.NewStore()
+	world.Stores["smallco"] = smallStore
+	small, err := world.MustAuthority("continental").CreateChild("smallco",
+		ipres.MustParseSet("63.174.18.0/23"), smallStore,
+		repo.URI{Host: "smallco.example:8873", Module: "smallco"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.IssueROA("small-a", 64501, roa.MustParsePrefix("63.174.18.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.IssueROA("small-b", 64502, roa.MustParsePrefix("63.174.19.0/24")); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, err := Serve(world, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	planner := &core.Planner{Manipulator: world.MustAuthority("sprint")}
+	plan, err := planner.Plan(core.Target{Holder: small, Name: "small-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != core.MethodDeepWhack {
+		t.Fatalf("method = %v", plan.Method)
+	}
+	if err := planner.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ValidateTCP(context.Background(), world, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := res.Index()
+	if ix.State(rov.Route{Prefix: MustParsePrefix("63.174.18.0/24"), Origin: 64501}) == rov.Valid {
+		t.Error("deep target should be whacked over TCP too")
+	}
+	if ix.State(rov.Route{Prefix: MustParsePrefix("63.174.19.0/24"), Origin: 64502}) != rov.Valid {
+		t.Error("sibling must survive via the replacement RC chain")
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

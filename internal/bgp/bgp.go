@@ -1,0 +1,261 @@
+// Package bgp implements an interdomain routing simulator: an AS-level
+// topology with customer/provider/peer relationships, Gao–Rexford route
+// propagation and selection, origin-validation policies, and a
+// longest-prefix-match data plane.
+//
+// The simulator exists to answer the paper's Section 5 question: what
+// impact does an invalid (or unknown) route have on actual reachability,
+// under each relying-party "local policy"? Longest-prefix-match forwarding
+// is modeled faithfully because subprefix hijacks — and the RPKI semantics
+// designed to stop them — only make sense in its presence.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// Policy is an AS's origin-validation local policy (the paper's Table 6).
+type Policy uint8
+
+const (
+	// PolicyIgnore disregards validation states entirely (no RPKI).
+	PolicyIgnore Policy = iota
+	// PolicyDropInvalid never selects an invalid route.
+	PolicyDropInvalid
+	// PolicyDeprefInvalid prefers valid > unknown > invalid for the same
+	// prefix but still uses an invalid route as a last resort.
+	PolicyDeprefInvalid
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyIgnore:
+		return "ignore"
+	case PolicyDropInvalid:
+		return "drop-invalid"
+	case PolicyDeprefInvalid:
+		return "depref-invalid"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// rel is the relationship of a neighbor from a router's perspective.
+type rel uint8
+
+const (
+	relCustomer rel = iota // neighbor is my customer
+	relPeer
+	relProvider // neighbor is my provider
+)
+
+// Route is one candidate or selected BGP route at a router.
+type Route struct {
+	// Prefix is the announced prefix.
+	Prefix ipres.Prefix
+	// Path is the AS path: Path[0] is the neighbor the route was learned
+	// from, Path[len-1] the origin. Empty for self-originated routes.
+	Path []ipres.ASN
+	// State is the route's origin-validation state at this router.
+	State rov.State
+	// learnedRel is the relationship to the neighbor the route came from.
+	learnedRel rel
+}
+
+// Origin returns the originating AS (the router's own ASN for
+// self-originated routes, signaled by an empty path).
+func (r Route) Origin(self ipres.ASN) ipres.ASN {
+	if len(r.Path) == 0 {
+		return self
+	}
+	return r.Path[len(r.Path)-1]
+}
+
+func (r Route) contains(asn ipres.ASN) bool {
+	for _, a := range r.Path {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// router is one AS.
+type router struct {
+	asn    ipres.ASN
+	policy Policy
+	// neighbors maps neighbor ASN → relationship from this router's view.
+	neighbors map[ipres.ASN]rel
+	// originated are this AS's own prefixes.
+	originated []ipres.Prefix
+	// rib maps prefix → selected route.
+	rib map[ipres.Prefix]Route
+	// adjIn maps prefix → neighbor → offered route.
+	adjIn map[ipres.Prefix]map[ipres.ASN]Route
+	// index is this AS's validated cache; nil means no RPKI (everything
+	// validates as it would with an empty VRP set: Unknown).
+	index *rov.Index
+}
+
+// Network is an AS-level topology plus routing state.
+type Network struct {
+	routers map[ipres.ASN]*router
+	// sharedIndex, when set, is used by every AS without its own index.
+	sharedIndex *rov.Index
+	converged   bool
+}
+
+// NewNetwork creates an empty topology.
+func NewNetwork() *Network {
+	return &Network{routers: make(map[ipres.ASN]*router)}
+}
+
+// AddAS registers an AS with the given validation policy. Adding an
+// existing AS updates its policy.
+func (n *Network) AddAS(asn ipres.ASN, policy Policy) {
+	if r, ok := n.routers[asn]; ok {
+		r.policy = policy
+		n.converged = false
+		return
+	}
+	n.routers[asn] = &router{
+		asn:       asn,
+		policy:    policy,
+		neighbors: make(map[ipres.ASN]rel),
+		rib:       make(map[ipres.Prefix]Route),
+		adjIn:     make(map[ipres.Prefix]map[ipres.ASN]Route),
+	}
+	n.converged = false
+}
+
+func (n *Network) router(asn ipres.ASN) (*router, error) {
+	r, ok := n.routers[asn]
+	if !ok {
+		return nil, fmt.Errorf("bgp: unknown AS %v", asn)
+	}
+	return r, nil
+}
+
+// ProviderOf records that provider sells transit to customer.
+func (n *Network) ProviderOf(provider, customer ipres.ASN) error {
+	p, err := n.router(provider)
+	if err != nil {
+		return err
+	}
+	c, err := n.router(customer)
+	if err != nil {
+		return err
+	}
+	p.neighbors[customer] = relCustomer
+	c.neighbors[provider] = relProvider
+	n.converged = false
+	return nil
+}
+
+// PeerOf records a settlement-free peering between a and b.
+func (n *Network) PeerOf(a, b ipres.ASN) error {
+	ra, err := n.router(a)
+	if err != nil {
+		return err
+	}
+	rb, err := n.router(b)
+	if err != nil {
+		return err
+	}
+	ra.neighbors[b] = relPeer
+	rb.neighbors[a] = relPeer
+	n.converged = false
+	return nil
+}
+
+// Originate has the AS announce a prefix as its own.
+func (n *Network) Originate(asn ipres.ASN, prefix ipres.Prefix) error {
+	r, err := n.router(asn)
+	if err != nil {
+		return err
+	}
+	for _, p := range r.originated {
+		if p == prefix {
+			return nil
+		}
+	}
+	r.originated = append(r.originated, prefix)
+	n.converged = false
+	return nil
+}
+
+// Withdraw removes a prefix origination.
+func (n *Network) Withdraw(asn ipres.ASN, prefix ipres.Prefix) error {
+	r, err := n.router(asn)
+	if err != nil {
+		return err
+	}
+	out := r.originated[:0]
+	for _, p := range r.originated {
+		if p != prefix {
+			out = append(out, p)
+		}
+	}
+	r.originated = out
+	n.converged = false
+	return nil
+}
+
+// SetSharedIndex installs the validated cache used by all ASes that have no
+// per-AS index (the common case: relying parties see the same RPKI).
+func (n *Network) SetSharedIndex(ix *rov.Index) {
+	n.sharedIndex = ix
+	n.converged = false
+}
+
+// SetASIndex installs a per-AS validated cache (for experiments where
+// relying parties diverge). A nil index reverts to the shared one.
+func (n *Network) SetASIndex(asn ipres.ASN, ix *rov.Index) error {
+	r, err := n.router(asn)
+	if err != nil {
+		return err
+	}
+	r.index = ix
+	n.converged = false
+	return nil
+}
+
+// SetPolicy updates an AS's validation policy.
+func (n *Network) SetPolicy(asn ipres.ASN, policy Policy) error {
+	r, err := n.router(asn)
+	if err != nil {
+		return err
+	}
+	r.policy = policy
+	n.converged = false
+	return nil
+}
+
+// ASes returns all ASNs, sorted.
+func (n *Network) ASes() []ipres.ASN {
+	out := make([]ipres.ASN, 0, len(n.routers))
+	for asn := range n.routers {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Network) indexFor(r *router) *rov.Index {
+	if r.index != nil {
+		return r.index
+	}
+	return n.sharedIndex
+}
+
+// classify returns the validation state of (prefix, origin) at router r.
+func (n *Network) classify(r *router, prefix ipres.Prefix, origin ipres.ASN) rov.State {
+	ix := n.indexFor(r)
+	if ix == nil {
+		return rov.Unknown
+	}
+	return ix.State(rov.Route{Prefix: prefix, Origin: origin})
+}

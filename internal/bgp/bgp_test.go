@@ -1,0 +1,399 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// lineTopology: AS1 ← AS2 ← AS3 (provider chain: 2 provides to 1? no —
+// build: p is provider of c). We use a simple chain 3→2→1 where 3 is
+// provider of 2 and 2 is provider of 1.
+func lineTopology(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 2, 3} {
+		n.AddAS(asn, PolicyIgnore)
+	}
+	if err := n.ProviderOf(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ProviderOf(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func pfx(s string) ipres.Prefix { return ipres.MustParsePrefix(s) }
+func addr(s string) ipres.Addr  { return ipres.MustParseAddr(s) }
+
+func TestBasicPropagation(t *testing.T) {
+	n := lineTopology(t)
+	if err := n.Originate(1, pfx("63.174.16.0/20")); err != nil {
+		t.Fatal(err)
+	}
+	route, ok, err := n.SelectedRoute(3, pfx("63.174.16.0/20"))
+	if err != nil || !ok {
+		t.Fatalf("AS3 should learn the route: %v %v", ok, err)
+	}
+	if len(route.Path) != 2 || route.Path[0] != 2 || route.Path[1] != 1 {
+		t.Errorf("path = %v", route.Path)
+	}
+	if route.Origin(3) != 1 {
+		t.Errorf("origin = %v", route.Origin(3))
+	}
+}
+
+func TestGaoRexfordValleyFree(t *testing.T) {
+	// Diamond: AS10 and AS20 are both providers of AS1 (multihomed) and
+	// peers of each other. AS30 is a provider of AS20 only.
+	//        30
+	//        |
+	//   10 ~ 20        (~ = peering)
+	//    \   /
+	//     \ /
+	//      1
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 10, 20, 30} {
+		n.AddAS(asn, PolicyIgnore)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.ProviderOf(10, 1))
+	must(n.ProviderOf(20, 1))
+	must(n.PeerOf(10, 20))
+	must(n.ProviderOf(30, 20))
+	must(n.Originate(1, pfx("10.0.0.0/8")))
+
+	// AS30 must reach via its customer AS20 (valley-free).
+	route, ok, err := n.SelectedRoute(30, pfx("10.0.0.0/8"))
+	if err != nil || !ok {
+		t.Fatalf("AS30 should have a route")
+	}
+	if route.Path[0] != 20 {
+		t.Errorf("AS30 path = %v, want via 20", route.Path)
+	}
+	// AS10 must prefer its customer route (direct to 1) over the peer
+	// route via 20.
+	route, ok, _ = n.SelectedRoute(10, pfx("10.0.0.0/8"))
+	if !ok || route.Path[0] != 1 {
+		t.Errorf("AS10 should prefer customer path, got %v", route.Path)
+	}
+	// A peer route must not be exported to another peer or provider:
+	// if 10 only had the peer route via 20, 30 would never hear it from 10
+	// — but 30 isn't connected to 10, so instead verify reachability.
+	d, err := n.Forward(30, addr("10.1.2.3"))
+	if err != nil || d.Dropped || d.Reached != 1 {
+		t.Errorf("forwarding failed: %+v %v", d, err)
+	}
+}
+
+func TestPrefixHijackWithoutRPKI(t *testing.T) {
+	// AS1 (victim) and AS666 (attacker) both originate 63.174.16.0/20;
+	// sources pick by path length. With no RPKI, some of the topology is
+	// captured by the attacker.
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 10, 20} {
+		n.AddAS(asn, PolicyIgnore)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.ProviderOf(10, 1))
+	must(n.ProviderOf(20, 666))
+	must(n.PeerOf(10, 20))
+	must(n.Originate(1, pfx("63.174.16.0/20")))
+	must(n.Originate(666, pfx("63.174.16.0/20")))
+
+	// AS20 hears the victim via peer 10 (2 hops) and the attacker via
+	// customer 666 (1 hop): customer wins → captured.
+	d, err := n.Forward(20, addr("63.174.16.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reached != 666 {
+		t.Errorf("AS20's traffic should be captured, reached %v", d.Reached)
+	}
+}
+
+func TestDropInvalidStopsPrefixHijack(t *testing.T) {
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 10, 20} {
+		n.AddAS(asn, PolicyDropInvalid)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.ProviderOf(10, 1))
+	must(n.ProviderOf(20, 666))
+	must(n.PeerOf(10, 20))
+	must(n.Originate(1, pfx("63.174.16.0/20")))
+	must(n.Originate(666, pfx("63.174.16.0/20")))
+	n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("63.174.16.0/20"), MaxLength: 20, ASN: 1}))
+
+	d, err := n.Forward(20, addr("63.174.16.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reached != 1 {
+		t.Errorf("drop-invalid should deliver to the victim, reached %v (path %v)", d.Reached, d.HopPath)
+	}
+}
+
+func TestSubprefixHijackAndMaxLengthDefense(t *testing.T) {
+	// The attacker announces a /24 inside the victim's /20. LPM sends
+	// traffic to the attacker even when the victim's route is valid —
+	// UNLESS validation marks the subprefix invalid and routers drop it.
+	build := func(policy Policy, ix *rov.Index) *Network {
+		n := NewNetwork()
+		for _, asn := range []ipres.ASN{1, 666, 10, 20} {
+			n.AddAS(asn, policy)
+		}
+		_ = n.ProviderOf(10, 1)
+		_ = n.ProviderOf(20, 666)
+		_ = n.PeerOf(10, 20)
+		_ = n.Originate(1, pfx("63.174.16.0/20"))
+		_ = n.Originate(666, pfx("63.174.17.0/24")) // subprefix!
+		if ix != nil {
+			n.SetSharedIndex(ix)
+		}
+		return n
+	}
+	ix := rov.NewIndex(rov.VRP{Prefix: pfx("63.174.16.0/20"), MaxLength: 20, ASN: 1})
+
+	// Without RPKI: hijacked (even AS10, adjacent to the victim).
+	n := build(PolicyIgnore, nil)
+	d, _ := n.Forward(10, addr("63.174.17.5"))
+	if d.Reached != 666 {
+		t.Errorf("no-RPKI subprefix hijack should capture, reached %v", d.Reached)
+	}
+	// Drop-invalid: the /24 is invalid (covering ROA, maxLength 20), so
+	// it is never selected and traffic follows the valid /20.
+	n = build(PolicyDropInvalid, ix)
+	d, _ = n.Forward(10, addr("63.174.17.5"))
+	if d.Reached != 1 {
+		t.Errorf("drop-invalid should stop subprefix hijack, reached %v", d.Reached)
+	}
+	// Depref-invalid does NOT stop subprefix hijacks: there is no valid
+	// route for the /24 itself, so the invalid /24 is still selected and
+	// LPM captures the traffic (the paper's Table 6, row 2).
+	n = build(PolicyDeprefInvalid, ix)
+	d, _ = n.Forward(10, addr("63.174.17.5"))
+	if d.Reached != 666 {
+		t.Errorf("depref-invalid should NOT stop subprefix hijack, reached %v", d.Reached)
+	}
+}
+
+func TestRPKIManipulationUnderPolicies(t *testing.T) {
+	// The victim's route becomes invalid because of an RPKI manipulation
+	// (whacked ROA with a covering ROA remaining). Table 6 row comparison:
+	// drop-invalid loses the prefix, depref-invalid keeps it.
+	build := func(policy Policy) *Network {
+		n := NewNetwork()
+		for _, asn := range []ipres.ASN{1, 10, 20} {
+			n.AddAS(asn, policy)
+		}
+		_ = n.ProviderOf(10, 1)
+		_ = n.ProviderOf(20, 10)
+		_ = n.Originate(1, pfx("63.174.16.0/22"))
+		// The /22 ROA was whacked; the /20 covering ROA (different origin)
+		// remains → the victim's route is invalid.
+		n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("63.174.16.0/20"), MaxLength: 20, ASN: 17054}))
+		return n
+	}
+	n := build(PolicyDropInvalid)
+	d, _ := n.Forward(20, addr("63.174.16.1"))
+	if !d.Dropped {
+		t.Errorf("drop-invalid should lose the whacked prefix, got %+v", d)
+	}
+	n = build(PolicyDeprefInvalid)
+	d, _ = n.Forward(20, addr("63.174.16.1"))
+	if d.Dropped || d.Reached != 1 {
+		t.Errorf("depref-invalid should keep reaching the victim, got %+v", d)
+	}
+}
+
+func TestWithdrawAndReconverge(t *testing.T) {
+	n := lineTopology(t)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	if _, ok, _ := n.SelectedRoute(3, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("route should exist")
+	}
+	_ = n.Withdraw(1, pfx("10.0.0.0/8"))
+	if _, ok, _ := n.SelectedRoute(3, pfx("10.0.0.0/8")); ok {
+		t.Fatal("route should be withdrawn")
+	}
+}
+
+func TestForwardDropsWithoutRoute(t *testing.T) {
+	n := lineTopology(t)
+	d, err := n.Forward(3, addr("192.0.2.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dropped {
+		t.Error("packet to unrouted space should drop")
+	}
+}
+
+func TestReachabilityMatrix(t *testing.T) {
+	n := lineTopology(t)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	frac, detail, err := n.ReachabilityMatrix([]ipres.ASN{2, 3}, addr("10.0.0.1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1.0 || !detail[2] || !detail[3] {
+		t.Errorf("frac=%v detail=%v", frac, detail)
+	}
+}
+
+func TestRIBSorted(t *testing.T) {
+	n := lineTopology(t)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	_ = n.Originate(1, pfx("9.0.0.0/8"))
+	rib, err := n.RIB(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rib) != 2 || rib[0].Prefix.String() != "9.0.0.0/8" {
+		t.Errorf("rib = %v", rib)
+	}
+}
+
+func TestUnknownASErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.Originate(99, pfx("10.0.0.0/8")); err == nil {
+		t.Error("unknown AS must error")
+	}
+	if err := n.ProviderOf(1, 2); err == nil {
+		t.Error("unknown link endpoints must error")
+	}
+	if _, err := n.Forward(1, addr("10.0.0.1")); err == nil {
+		t.Error("unknown source must error")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyIgnore.String() != "ignore" || PolicyDropInvalid.String() != "drop-invalid" || PolicyDeprefInvalid.String() != "depref-invalid" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestDeprefPrefersValidOverInvalid(t *testing.T) {
+	// The victim's valid route and an attacker's invalid route for the
+	// SAME prefix: depref must pick the valid one even when the invalid
+	// path is shorter.
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 10, 20} {
+		n.AddAS(asn, PolicyDeprefInvalid)
+	}
+	_ = n.ProviderOf(10, 1)
+	_ = n.ProviderOf(20, 10)
+	_ = n.ProviderOf(20, 666) // attacker is one hop from 20; victim is two
+	_ = n.Originate(1, pfx("63.174.16.0/20"))
+	_ = n.Originate(666, pfx("63.174.16.0/20"))
+	n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("63.174.16.0/20"), MaxLength: 20, ASN: 1}))
+	route, ok, err := n.SelectedRoute(20, pfx("63.174.16.0/20"))
+	if err != nil || !ok {
+		t.Fatalf("no route: %v", err)
+	}
+	if route.Origin(20) != 1 {
+		t.Errorf("depref should prefer the longer VALID path, got origin %v", route.Origin(20))
+	}
+	d, _ := n.Forward(20, addr("63.174.16.1"))
+	if d.Reached != 1 {
+		t.Errorf("traffic should reach the victim, got %v", d.Reached)
+	}
+}
+
+func TestDeprefPrefersUnknownOverInvalid(t *testing.T) {
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 20} {
+		n.AddAS(asn, PolicyDeprefInvalid)
+	}
+	_ = n.ProviderOf(20, 1)
+	_ = n.ProviderOf(20, 666)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))   // unknown (no ROA covers it)
+	_ = n.Originate(666, pfx("10.0.0.0/8")) // also unknown... make invalid:
+	n.SetSharedIndex(rov.NewIndex())
+	// Both unknown: tiebreak by lower neighbor ASN (1).
+	route, ok, _ := n.SelectedRoute(20, pfx("10.0.0.0/8"))
+	if !ok || route.Origin(20) != 1 {
+		t.Fatalf("tiebreak wrong: %+v", route)
+	}
+}
+
+func TestAddASUpdatesPolicy(t *testing.T) {
+	n := NewNetwork()
+	n.AddAS(1, PolicyIgnore)
+	n.AddAS(2, PolicyIgnore)
+	_ = n.ProviderOf(2, 1)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("10.0.0.0/8"), MaxLength: 8, ASN: 99}))
+	if _, ok, _ := n.SelectedRoute(2, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("ignore policy should accept the invalid route")
+	}
+	n.AddAS(2, PolicyDropInvalid) // re-add updates policy
+	if _, ok, _ := n.SelectedRoute(2, pfx("10.0.0.0/8")); ok {
+		t.Fatal("drop policy should reject the invalid route")
+	}
+}
+
+func TestSelfOriginatedInvalidDroppedUnderDrop(t *testing.T) {
+	// An origin whose own announcement is invalid drops it under
+	// drop-invalid; its traffic to itself black-holes. Extreme but per
+	// policy semantics.
+	n := NewNetwork()
+	n.AddAS(1, PolicyDropInvalid)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("10.0.0.0/8"), MaxLength: 8, ASN: 99}))
+	if _, ok, _ := n.SelectedRoute(1, pfx("10.0.0.0/8")); ok {
+		t.Error("self-originated invalid route should be dropped under drop-invalid")
+	}
+}
+
+func TestASesSorted(t *testing.T) {
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{30, 10, 20} {
+		n.AddAS(asn, PolicyIgnore)
+	}
+	ases := n.ASes()
+	if len(ases) != 3 || ases[0] != 10 || ases[2] != 30 {
+		t.Errorf("ASes = %v", ases)
+	}
+}
+
+func TestPerASIndexOverride(t *testing.T) {
+	n := NewNetwork()
+	for _, asn := range []ipres.ASN{1, 2, 3} {
+		n.AddAS(asn, PolicyDropInvalid)
+	}
+	_ = n.ProviderOf(2, 1)
+	_ = n.ProviderOf(3, 2)
+	_ = n.Originate(1, pfx("10.0.0.0/8"))
+	// Shared index says invalid; AS3's private index says valid.
+	n.SetSharedIndex(rov.NewIndex(rov.VRP{Prefix: pfx("10.0.0.0/8"), MaxLength: 8, ASN: 99}))
+	_ = n.SetASIndex(3, rov.NewIndex(rov.VRP{Prefix: pfx("10.0.0.0/8"), MaxLength: 8, ASN: 1}))
+	// AS2 (shared view) drops it, so AS3 never hears it — relying parties
+	// diverging does not resurrect routes filtered upstream.
+	if _, ok, _ := n.SelectedRoute(3, pfx("10.0.0.0/8")); ok {
+		t.Error("upstream filtering should starve AS3")
+	}
+	// Clear AS2's policy: now AS3 validates with its own index and keeps it.
+	_ = n.SetPolicy(2, PolicyIgnore)
+	if _, ok, _ := n.SelectedRoute(3, pfx("10.0.0.0/8")); !ok {
+		t.Error("AS3 should accept with its own index")
+	}
+}

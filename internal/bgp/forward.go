@@ -1,0 +1,105 @@
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/ipres"
+)
+
+// Delivery is the outcome of forwarding a packet through the data plane.
+type Delivery struct {
+	// Reached is the AS where the packet terminated (the origin of the
+	// longest-prefix-match route, hop by hop), 0 if dropped.
+	Reached ipres.ASN
+	// HopPath lists the ASes traversed, starting with the source.
+	HopPath []ipres.ASN
+	// Dropped reports that some hop had no route for the destination.
+	Dropped bool
+}
+
+// Forward traces a packet from AS src to destination address dst through
+// the data plane: at each hop, the current AS looks up dst with longest-
+// prefix-match over its own RIB and hands the packet to the next hop on the
+// selected route. Forwarding terminates at an AS that originates the
+// matched prefix. This per-hop LPM is exactly the mechanism subprefix
+// hijacks exploit.
+func (n *Network) Forward(src ipres.ASN, dst ipres.Addr) (Delivery, error) {
+	if !n.converged {
+		if err := n.Converge(); err != nil {
+			return Delivery{}, err
+		}
+	}
+	cur, err := n.router(src)
+	if err != nil {
+		return Delivery{}, err
+	}
+	d := Delivery{HopPath: []ipres.ASN{src}}
+	const maxHops = 64
+	for hop := 0; hop < maxHops; hop++ {
+		// Does the current AS originate a prefix containing dst, and is
+		// that origination still its best route? (An AS always delivers
+		// locally if it originates the LPM match.)
+		route, ok := lpm(cur, dst)
+		if !ok {
+			d.Dropped = true
+			return d, nil
+		}
+		if len(route.Path) == 0 {
+			d.Reached = cur.asn
+			return d, nil
+		}
+		next := route.Path[0]
+		nr, err := n.router(next)
+		if err != nil {
+			return Delivery{}, err
+		}
+		cur = nr
+		d.HopPath = append(d.HopPath, next)
+	}
+	d.Dropped = true
+	return d, fmt.Errorf("bgp: forwarding loop exceeded %d hops", maxHops)
+}
+
+// lpm selects the longest-prefix-match route for dst in r's RIB.
+func lpm(r *router, dst ipres.Addr) (Route, bool) {
+	var best Route
+	bestBits := -1
+	for p, route := range r.rib {
+		if p.Contains(dst) && p.Bits() > bestBits {
+			best = route
+			bestBits = p.Bits()
+		}
+	}
+	return best, bestBits >= 0
+}
+
+// CanReach reports whether traffic from src to dst terminates at wantAS.
+func (n *Network) CanReach(src ipres.ASN, dst ipres.Addr, wantAS ipres.ASN) (bool, error) {
+	d, err := n.Forward(src, dst)
+	if err != nil {
+		return false, err
+	}
+	return !d.Dropped && d.Reached == wantAS, nil
+}
+
+// ReachabilityMatrix computes, for every AS in sources, whether it can
+// reach dst at wantAS. It returns the fraction of sources with
+// connectivity.
+func (n *Network) ReachabilityMatrix(sources []ipres.ASN, dst ipres.Addr, wantAS ipres.ASN) (float64, map[ipres.ASN]bool, error) {
+	result := make(map[ipres.ASN]bool, len(sources))
+	reached := 0
+	for _, src := range sources {
+		ok, err := n.CanReach(src, dst, wantAS)
+		if err != nil {
+			return 0, nil, err
+		}
+		result[src] = ok
+		if ok {
+			reached++
+		}
+	}
+	if len(sources) == 0 {
+		return 0, result, nil
+	}
+	return float64(reached) / float64(len(sources)), result, nil
+}

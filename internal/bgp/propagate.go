@@ -1,0 +1,253 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// Converge (re)computes routing to a fixed point using synchronous rounds
+// of Gao–Rexford propagation. It must be called after topology, origination,
+// policy, or validated-cache changes; query methods call it implicitly.
+func (n *Network) Converge() error {
+	const maxRounds = 1000
+	// Reset adj-in and RIBs, seed self-originated routes.
+	for _, r := range n.routers {
+		r.adjIn = make(map[ipres.Prefix]map[ipres.ASN]Route)
+		r.rib = make(map[ipres.Prefix]Route)
+		for _, p := range r.originated {
+			r.rib[p] = Route{Prefix: p, State: n.classify(r, p, r.asn)}
+		}
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		// Phase 1: every router exports its current best routes.
+		type export struct {
+			to    *router
+			from  ipres.ASN
+			route Route
+		}
+		var exports []export
+		for _, r := range n.routers {
+			for prefix, best := range r.rib {
+				for nbr, nrel := range r.neighbors {
+					if !exportAllowed(best, nrel) {
+						continue
+					}
+					target := n.routers[nbr]
+					newPath := append([]ipres.ASN{r.asn}, best.Path...)
+					exports = append(exports, export{
+						to:   target,
+						from: r.asn,
+						route: Route{
+							Prefix: prefix,
+							Path:   newPath,
+						},
+					})
+				}
+			}
+		}
+		// Phase 2: receivers ingest, validate, and select.
+		for _, e := range exports {
+			if e.route.contains(e.to.asn) {
+				continue // loop prevention
+			}
+			m := e.to.adjIn[e.route.Prefix]
+			if m == nil {
+				m = make(map[ipres.ASN]Route)
+				e.to.adjIn[e.route.Prefix] = m
+			}
+			r := e.route
+			r.learnedRel = e.to.neighbors[e.from]
+			r.State = n.classify(e.to, r.Prefix, r.Origin(e.to.asn))
+			old, had := m[e.from]
+			if !had || !routesEqual(old, r) {
+				m[e.from] = r
+				changed = true
+			}
+		}
+		// Phase 3: selection.
+		for _, r := range n.routers {
+			if n.selectBest(r) {
+				changed = true
+			}
+		}
+		if !changed {
+			n.converged = true
+			return nil
+		}
+	}
+	return fmt.Errorf("bgp: no convergence after %d rounds", 1000)
+}
+
+func routesEqual(a, b Route) bool {
+	if a.Prefix != b.Prefix || a.State != b.State || a.learnedRel != b.learnedRel || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exportAllowed implements Gao–Rexford export: routes learned from
+// customers (and self-originated routes) are exported to everyone; routes
+// learned from peers or providers are exported only to customers.
+func exportAllowed(r Route, to rel) bool {
+	if len(r.Path) == 0 || r.learnedRel == relCustomer {
+		return true
+	}
+	return to == relCustomer
+}
+
+// selectBest recomputes r's RIB from adj-in; reports whether it changed.
+func (n *Network) selectBest(r *router) bool {
+	changed := false
+	prefixes := make(map[ipres.Prefix]bool)
+	for p := range r.adjIn {
+		prefixes[p] = true
+	}
+	for _, p := range r.originated {
+		prefixes[p] = true
+	}
+	for p := range r.rib {
+		prefixes[p] = true
+	}
+	for p := range prefixes {
+		best, ok := n.bestRouteFor(r, p)
+		old, had := r.rib[p]
+		switch {
+		case !ok && had:
+			delete(r.rib, p)
+			changed = true
+		case ok && (!had || !routesEqual(old, best)):
+			r.rib[p] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bestRouteFor selects among self-origination and adj-in candidates.
+func (n *Network) bestRouteFor(r *router, p ipres.Prefix) (Route, bool) {
+	var candidates []Route
+	for _, op := range r.originated {
+		if op == p {
+			candidates = append(candidates, Route{Prefix: p, State: n.classify(r, p, r.asn)})
+		}
+	}
+	// Deterministic neighbor order for stable tiebreaking.
+	nbrs := make([]ipres.ASN, 0, len(r.adjIn[p]))
+	for nbr := range r.adjIn[p] {
+		nbrs = append(nbrs, nbr)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	for _, nbr := range nbrs {
+		cand := r.adjIn[p][nbr]
+		if r.policy == PolicyDropInvalid && cand.State == rov.Invalid {
+			continue
+		}
+		candidates = append(candidates, cand)
+	}
+	if len(candidates) == 0 {
+		return Route{}, false
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if n.better(r, c, best) {
+			best = c
+		}
+	}
+	if r.policy == PolicyDropInvalid && best.State == rov.Invalid {
+		return Route{}, false // self-originated invalid still dropped
+	}
+	return best, true
+}
+
+// better reports whether a beats b at router r.
+func (n *Network) better(r *router, a, b Route) bool {
+	// Self-originated routes always win (path length 0, customer-grade).
+	// 1. Validation preference under depref-invalid.
+	if r.policy == PolicyDeprefInvalid {
+		if ra, rb := stateRank(a.State), stateRank(b.State); ra != rb {
+			return ra > rb
+		}
+	}
+	// 2. Relationship preference: customer > peer > provider. Self-
+	//    originated routes count as best.
+	if pa, pb := relRank(a), relRank(b); pa != pb {
+		return pa > pb
+	}
+	// 3. Shorter AS path.
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	// 4. Lowest first-hop ASN.
+	if len(a.Path) > 0 && len(b.Path) > 0 {
+		return a.Path[0] < b.Path[0]
+	}
+	return false
+}
+
+func stateRank(s rov.State) int {
+	switch s {
+	case rov.Valid:
+		return 2
+	case rov.Unknown:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func relRank(r Route) int {
+	if len(r.Path) == 0 {
+		return 3 // self-originated
+	}
+	switch r.learnedRel {
+	case relCustomer:
+		return 2
+	case relPeer:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SelectedRoute returns AS asn's current best route for prefix.
+func (n *Network) SelectedRoute(asn ipres.ASN, prefix ipres.Prefix) (Route, bool, error) {
+	if !n.converged {
+		if err := n.Converge(); err != nil {
+			return Route{}, false, err
+		}
+	}
+	r, err := n.router(asn)
+	if err != nil {
+		return Route{}, false, err
+	}
+	route, ok := r.rib[prefix]
+	return route, ok, nil
+}
+
+// RIB returns AS asn's full routing table, sorted by prefix.
+func (n *Network) RIB(asn ipres.ASN) ([]Route, error) {
+	if !n.converged {
+		if err := n.Converge(); err != nil {
+			return nil, err
+		}
+	}
+	r, err := n.router(asn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Route, 0, len(r.rib))
+	for _, route := range r.rib {
+		out = append(out, route)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Cmp(out[j].Prefix) < 0 })
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package cert
+
+import (
+	"encoding/asn1"
+	"fmt"
+)
+
+// OIDs for the authority/subject information access extensions and their
+// access methods, per RFC 5280 and RFC 6487.
+var (
+	oidAIA            = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 1, 1}
+	oidSIA            = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 1, 11}
+	oidADCAIssuers    = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 48, 2}
+	oidADCARepository = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 48, 5}
+	oidADRPKIManifest = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 48, 10}
+	oidADSignedObject = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 48, 11}
+)
+
+// InfoAccess is the decoded form of an SIA or AIA extension as used by the
+// RPKI profile: a set of URI access descriptions.
+type InfoAccess struct {
+	// CAIssuers is the AIA pointer to the issuer's certificate (AIA only).
+	CAIssuers string
+	// CARepository is the publication point this CA publishes into
+	// (SIA on CA certificates).
+	CARepository string
+	// Manifest is the URI of this CA's manifest (SIA on CA certificates).
+	Manifest string
+	// SignedObject is the URI of the object an EE certificate signs
+	// (SIA on EE certificates).
+	SignedObject string
+}
+
+type accessDescription struct {
+	Method   asn1.ObjectIdentifier
+	Location asn1.RawValue
+}
+
+func uriGeneralName(uri string) asn1.RawValue {
+	return asn1.RawValue{
+		Class: asn1.ClassContextSpecific,
+		Tag:   6, // uniformResourceIdentifier IA5String
+		Bytes: []byte(uri),
+	}
+}
+
+// marshalInfoAccess encodes the non-empty fields of ia as an
+// AuthorityInfoAccessSyntax / SubjectInfoAccessSyntax value.
+func marshalInfoAccess(ia InfoAccess) ([]byte, error) {
+	var ads []accessDescription
+	add := func(oid asn1.ObjectIdentifier, uri string) {
+		if uri != "" {
+			ads = append(ads, accessDescription{Method: oid, Location: uriGeneralName(uri)})
+		}
+	}
+	add(oidADCAIssuers, ia.CAIssuers)
+	add(oidADCARepository, ia.CARepository)
+	add(oidADRPKIManifest, ia.Manifest)
+	add(oidADSignedObject, ia.SignedObject)
+	if len(ads) == 0 {
+		return nil, fmt.Errorf("cert: empty info access")
+	}
+	return asn1.Marshal(ads)
+}
+
+// unmarshalInfoAccess decodes an SIA/AIA extension value.
+func unmarshalInfoAccess(der []byte) (InfoAccess, error) {
+	var ads []accessDescription
+	rest, err := asn1.Unmarshal(der, &ads)
+	if err != nil {
+		return InfoAccess{}, fmt.Errorf("cert: bad info access: %w", err)
+	}
+	if len(rest) != 0 {
+		return InfoAccess{}, fmt.Errorf("cert: trailing bytes in info access")
+	}
+	var ia InfoAccess
+	for _, ad := range ads {
+		if ad.Location.Class != asn1.ClassContextSpecific || ad.Location.Tag != 6 {
+			continue // not a URI GeneralName; the RPKI profile only uses URIs
+		}
+		uri := string(ad.Location.Bytes)
+		switch {
+		case ad.Method.Equal(oidADCAIssuers):
+			ia.CAIssuers = uri
+		case ad.Method.Equal(oidADCARepository):
+			ia.CARepository = uri
+		case ad.Method.Equal(oidADRPKIManifest):
+			ia.Manifest = uri
+		case ad.Method.Equal(oidADSignedObject):
+			ia.SignedObject = uri
+		}
+	}
+	return ia, nil
+}

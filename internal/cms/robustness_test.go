@@ -1,0 +1,46 @@
+package cms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnMutation is a fuzz-lite robustness property: a
+// relying party parses attacker-controlled bytes, so Parse must fail
+// cleanly — never panic — on arbitrarily mutated envelopes. (Side Effect 6
+// depends on corrupted objects being *rejected*, not on them crashing the
+// validator.)
+func TestParseNeverPanicsOnMutation(t *testing.T) {
+	ee, eeKey := newEE(t)
+	env, err := Sign(OIDContentTypeROA, []byte("payload for mutation testing"), ee, eeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2013))
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte(nil), env...)
+		// 1–4 random byte mutations.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on mutation (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = Parse(mutated)
+		}()
+	}
+	// Truncations too.
+	for cut := 0; cut < len(env); cut += 9 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on truncation at %d: %v", cut, r)
+				}
+			}()
+			_, _ = Parse(env[:cut])
+		}()
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/ipres"
+	"repro/internal/repo"
+	"repro/internal/rov"
+	"repro/internal/rp"
+)
+
+// RepoSite places a publication point inside the routed Internet: the
+// module is served at Addr, which sits inside RoutePrefix originated by
+// OriginAS. Retrieving the module's objects requires a usable BGP route for
+// that prefix — the root of the paper's Side Effect 7 circularity when the
+// ROA authorizing the route is itself stored in the module.
+type RepoSite struct {
+	Module      string
+	Addr        ipres.Addr
+	RoutePrefix ipres.Prefix
+	OriginAS    ipres.ASN
+}
+
+// Route returns the BGP route whose validity gates access to the site.
+func (s RepoSite) Route() rov.Route {
+	return rov.Route{Prefix: s.RoutePrefix, Origin: s.OriginAS}
+}
+
+// DependencyEdge records that validating module From's availability
+// depends on an object published in module To.
+type DependencyEdge struct {
+	From, To string
+}
+
+// FindCircularDependencies detects publication points whose route validity
+// depends on ROAs stored in themselves or in a cycle of repositories. The
+// vrpsByModule map gives, for each module, the VRPs of ROAs *stored* there.
+// Returned cycles are lists of module names; a single-element cycle is the
+// paper's exact example (a repository hosting the ROA for its own route).
+func FindCircularDependencies(sites map[string]RepoSite, vrpsByModule map[string][]rov.VRP) [][]string {
+	// Build edges: From needs To if some VRP stored in To matches From's
+	// route (it is a matching ROA that keeps the route valid).
+	adj := make(map[string][]string)
+	for from, site := range sites {
+		route := site.Route()
+		for to, vrps := range vrpsByModule {
+			for _, v := range vrps {
+				if v.Matches(route) {
+					adj[from] = append(adj[from], to)
+					break
+				}
+			}
+		}
+	}
+	// Find elementary cycles with a bounded DFS (graphs here are tiny).
+	var cycles [][]string
+	seenCycle := make(map[string]bool)
+	modules := make([]string, 0, len(sites))
+	for m := range sites {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+	for _, start := range modules {
+		var path []string
+		onPath := make(map[string]bool)
+		var dfs func(cur string)
+		dfs = func(cur string) {
+			path = append(path, cur)
+			onPath[cur] = true
+			for _, next := range adj[cur] {
+				if next == start {
+					cycle := append([]string(nil), path...)
+					key := canonicalCycleKey(cycle)
+					if !seenCycle[key] {
+						seenCycle[key] = true
+						cycles = append(cycles, cycle)
+					}
+					continue
+				}
+				if !onPath[next] && next > start { // canonical start = smallest
+					dfs(next)
+				}
+			}
+			path = path[:len(path)-1]
+			delete(onPath, cur)
+		}
+		dfs(start)
+	}
+	return cycles
+}
+
+func canonicalCycleKey(cycle []string) string {
+	// Rotate so the smallest element is first.
+	min := 0
+	for i, m := range cycle {
+		if m < cycle[min] {
+			min = i
+		}
+	}
+	key := ""
+	for i := range cycle {
+		key += cycle[(min+i)%len(cycle)] + "→"
+	}
+	return key
+}
+
+// CorruptingFetcher wraps a Fetcher with per-object corruption faults,
+// modeling the transient delivery errors of Side Effect 6/7 for in-process
+// experiments. It is safe for concurrent use.
+type CorruptingFetcher struct {
+	Inner rp.Fetcher
+
+	mu      sync.Mutex
+	corrupt map[string]map[string]bool
+	drop    map[string]map[string]bool
+}
+
+// NewCorruptingFetcher wraps inner with no faults.
+func NewCorruptingFetcher(inner rp.Fetcher) *CorruptingFetcher {
+	return &CorruptingFetcher{
+		Inner:   inner,
+		corrupt: make(map[string]map[string]bool),
+		drop:    make(map[string]map[string]bool),
+	}
+}
+
+// Corrupt makes the named object arrive bit-flipped.
+func (f *CorruptingFetcher) Corrupt(module, name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corrupt[module] == nil {
+		f.corrupt[module] = make(map[string]bool)
+	}
+	f.corrupt[module][name] = true
+}
+
+// Drop makes the named object vanish from fetches.
+func (f *CorruptingFetcher) Drop(module, name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.drop[module] == nil {
+		f.drop[module] = make(map[string]bool)
+	}
+	f.drop[module][name] = true
+}
+
+// Heal clears all faults for a module ("" clears everything).
+func (f *CorruptingFetcher) Heal(module string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if module == "" {
+		f.corrupt = make(map[string]map[string]bool)
+		f.drop = make(map[string]map[string]bool)
+		return
+	}
+	delete(f.corrupt, module)
+	delete(f.drop, module)
+}
+
+// FetchAll implements rp.Fetcher, applying the configured faults.
+func (f *CorruptingFetcher) FetchAll(ctx context.Context, uri repo.URI) (map[string][]byte, error) {
+	files, err := f.Inner.FetchAll(ctx, uri)
+	if err != nil {
+		return files, err
+	}
+	f.mu.Lock()
+	corrupt := f.corrupt[uri.Module]
+	drop := f.drop[uri.Module]
+	f.mu.Unlock()
+	if len(corrupt) == 0 && len(drop) == 0 {
+		return files, nil
+	}
+	out := make(map[string][]byte, len(files))
+	for name, content := range files {
+		if drop[name] {
+			continue
+		}
+		if corrupt[name] {
+			bad := append([]byte(nil), content...)
+			for i := range bad {
+				if i%13 == 5 {
+					bad[i] ^= 0x5A
+				}
+			}
+			out[name] = bad
+			continue
+		}
+		out[name] = content
+	}
+	return out, nil
+}
+
+// CircularSim couples a relying party, the repositories it fetches, and a
+// BGP data plane whose validation state gates those very fetches — the
+// full Figure 1 loop. Each Step performs one relying-party sync against the
+// network state left by the previous step.
+type CircularSim struct {
+	// Anchors seed validation.
+	Anchors []rp.TrustAnchor
+	// Fetch retrieves repository contents (typically a CorruptingFetcher
+	// over a StoreFetcher).
+	Fetch rp.Fetcher
+	// Sites places each module in the network.
+	Sites map[string]RepoSite
+	// Network is the BGP topology (must already contain the originations
+	// for every site's RoutePrefix).
+	Network *bgp.Network
+	// RPAS is the AS where the relying party (and its router) sits.
+	RPAS ipres.ASN
+	// Clock supplies validation time.
+	Clock func() time.Time
+	// Policy is the RP's missing-information policy.
+	Policy rp.MissingPolicy
+	// PostSync, if set, transforms the validated cache after each sync
+	// before it takes effect — the hook for fail-safe layers such as
+	// internal/suspenders.
+	PostSync func(vrps []rov.VRP) []rov.VRP
+
+	// lastVRPs is the validated cache from the previous step; it
+	// determines reachability during the CURRENT step.
+	lastVRPs []rov.VRP
+	// started flips after the first sync; the bootstrap sync is ungated
+	// (an RP with an empty cache treats every route as unknown).
+	started   bool
+	bootstrap bool
+	// overrides lists modules manually whitelisted by the operator (the
+	// paper notes recovery "can be fixed manually, but there are no
+	// recommended procedures").
+	overrides map[string]bool
+}
+
+// StepReport summarizes one sync round.
+type StepReport struct {
+	// Unreachable lists modules whose fetch was blocked by route validity.
+	Unreachable []string
+	// VRPCount is the size of the validated cache after the step.
+	VRPCount int
+	// Diagnostics carries the RP's diagnostics.
+	Diagnostics []rp.Diagnostic
+}
+
+// ManualOverride whitelists a module, modeling out-of-band operator
+// intervention (e.g. a static route or manual rsync).
+func (s *CircularSim) ManualOverride(module string, on bool) {
+	if s.overrides == nil {
+		s.overrides = make(map[string]bool)
+	}
+	s.overrides[module] = on
+}
+
+// VRPs returns the current validated cache.
+func (s *CircularSim) VRPs() []rov.VRP { return s.lastVRPs }
+
+// gatedFetcher blocks fetches to modules whose route the relying party's
+// router cannot currently use.
+type gatedFetcher struct {
+	sim    *CircularSim
+	report *StepReport
+}
+
+// FetchAll implements rp.Fetcher.
+func (g gatedFetcher) FetchAll(ctx context.Context, uri repo.URI) (map[string][]byte, error) {
+	site, known := g.sim.Sites[uri.Module]
+	if known && !g.sim.bootstrap && !g.sim.overrides[uri.Module] {
+		ok, err := g.sim.Network.CanReach(g.sim.RPAS, site.Addr, site.OriginAS)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			g.report.Unreachable = append(g.report.Unreachable, uri.Module)
+			return nil, fmt.Errorf("core: repository %s at %v unreachable (no usable route)", uri.Module, site.Addr)
+		}
+	}
+	return g.sim.Fetch.FetchAll(ctx, uri)
+}
+
+// Step runs one relying-party sync with reachability gated on the previous
+// step's validated cache, then installs the new cache into the network.
+// The first Step bootstraps ungated (a fresh relying party with an empty
+// cache treats every route as unknown, hence usable).
+func (s *CircularSim) Step(ctx context.Context) (*StepReport, error) {
+	report := &StepReport{}
+	if !s.started {
+		s.bootstrap = true
+	}
+	// Install the previous cache into the network so reachability during
+	// this step reflects the router's current validation state.
+	s.Network.SetSharedIndex(rov.NewIndex(s.lastVRPs...))
+	if err := s.Network.Converge(); err != nil {
+		return nil, err
+	}
+	relying := rp.New(rp.Config{
+		Fetcher: gatedFetcher{sim: s, report: report},
+		Clock:   s.Clock,
+		Policy:  s.Policy,
+	}, s.Anchors...)
+	result, err := relying.Sync(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.bootstrap = false
+	s.started = true
+	vrps := result.VRPs
+	if s.PostSync != nil {
+		vrps = s.PostSync(vrps)
+	}
+	s.lastVRPs = vrps
+	report.VRPCount = len(s.lastVRPs)
+	report.Diagnostics = result.Diagnostics
+	// The new cache takes effect for the data plane going forward.
+	s.Network.SetSharedIndex(rov.NewIndex(s.lastVRPs...))
+	if err := s.Network.Converge(); err != nil {
+		return nil, err
+	}
+	sort.Strings(report.Unreachable)
+	return report, nil
+}
+
+// RouteState reports the current validation state of a site's route under
+// the simulator's cache.
+func (s *CircularSim) RouteState(module string) (rov.State, error) {
+	site, ok := s.Sites[module]
+	if !ok {
+		return rov.Unknown, fmt.Errorf("core: unknown module %q", module)
+	}
+	ix := rov.NewIndex(s.lastVRPs...)
+	return ix.State(site.Route()), nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ca"
+	"repro/internal/ipres"
+	"repro/internal/roa"
+)
+
+// Planner computes whack plans on behalf of a manipulating authority.
+type Planner struct {
+	// Manipulator is the acting (misbehaving) authority.
+	Manipulator *ca.Authority
+}
+
+// pathTo returns the chain of authorities from the manipulator's direct
+// child down to holder (inclusive), or nil if holder is not a strict
+// descendant.
+func (p *Planner) pathTo(holder *ca.Authority) []*ca.Authority {
+	var rev []*ca.Authority
+	for cur := holder; cur != nil; cur = cur.Parent {
+		if cur == p.Manipulator {
+			// reverse rev
+			out := make([]*ca.Authority, len(rev))
+			for i, a := range rev {
+				out[len(rev)-1-i] = a
+			}
+			return out
+		}
+		rev = append(rev, cur)
+	}
+	return nil
+}
+
+func roaRef(holder *ca.Authority, name string) (ROARef, *roa.ROA, error) {
+	r, ok := holder.ROA(name)
+	if !ok {
+		return ROARef{}, nil, fmt.Errorf("core: %s has no ROA %q", holder.Name, name)
+	}
+	return ROARef{Holder: holder.Name, Name: name, ROA: r.String()}, r, nil
+}
+
+// PlanRevokeSubtree plans the blunt whack: revoke the manipulator's direct
+// child RC whose subtree contains the target. Collateral is every other
+// ROA in that subtree.
+func (p *Planner) PlanRevokeSubtree(t Target) (*Plan, error) {
+	ref, _, err := roaRef(t.Holder, t.Name)
+	if err != nil {
+		return nil, err
+	}
+	path := p.pathTo(t.Holder)
+	if path == nil {
+		return nil, fmt.Errorf("core: %s is not an ancestor of %s", p.Manipulator.Name, t.Holder.Name)
+	}
+	top := path[0]
+	plan := &Plan{
+		Method:      MethodRevokeSubtree,
+		Manipulator: p.Manipulator.Name,
+		Target:      ref,
+		Depth:       len(path),
+		CRLVisible:  true,
+		Steps: []Step{{
+			Kind:    StepRevokeChild,
+			Subject: top.Name,
+			Detail:  fmt.Sprintf("revoke RC of %s, invalidating its whole subtree", top.Name),
+		}},
+	}
+	plan.Collateral = subtreeROAs(top, func(h *ca.Authority, name string) bool {
+		return h == t.Holder && name == t.Name
+	})
+	return plan, nil
+}
+
+// subtreeROAs collects every ROA in the subtree rooted at a, skipping those
+// for which skip returns true.
+func subtreeROAs(a *ca.Authority, skip func(*ca.Authority, string) bool) []ROARef {
+	var out []ROARef
+	for _, name := range a.ROAs() {
+		if skip != nil && skip(a, name) {
+			continue
+		}
+		r, _ := a.ROA(name)
+		out = append(out, ROARef{Holder: a.Name, Name: name, ROA: r.String()})
+	}
+	for _, childName := range a.Children() {
+		child, ok := a.Child(childName)
+		if !ok {
+			continue
+		}
+		out = append(out, subtreeROAs(child, skip)...)
+	}
+	return out
+}
+
+// Plan computes the most surgical plan available for whacking the target:
+// delete (own ROA), clean shrink, make-before-break, or deep whack,
+// depending on where the target sits and what the carved hole overlaps.
+func (p *Planner) Plan(t Target) (*Plan, error) {
+	ref, target, err := roaRef(t.Holder, t.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Case 0: the manipulator's own ROA — just delete it (stealthy).
+	if t.Holder == p.Manipulator {
+		return &Plan{
+			Method:      MethodDelete,
+			Manipulator: p.Manipulator.Name,
+			Target:      ref,
+			Depth:       0,
+			Steps: []Step{{
+				Kind:    StepDeleteROA,
+				Subject: t.Name,
+				Detail:  "delete own ROA from repository; CRL untouched",
+			}},
+		}, nil
+	}
+
+	path := p.pathTo(t.Holder)
+	if path == nil {
+		return nil, fmt.Errorf("core: %s is not an ancestor of %s", p.Manipulator.Name, t.Holder.Name)
+	}
+
+	// Choose the hole. Invalidating the target only requires removing
+	// SOME portion of the target ROA's space from the chain above it (the
+	// EE certificate then overclaims, killing the whole ROA). The paper's
+	// trick: pick a portion that overlaps no other object issued along the
+	// path, and the whack has zero collateral. Only when no such portion
+	// exists must the manipulator fall back to carving the full target
+	// space and reissuing every damaged sibling (make-before-break).
+	free := target.ResourceSet()
+	for i, authority := range path {
+		for _, name := range authority.ROAs() {
+			if authority == t.Holder && name == t.Name {
+				continue
+			}
+			r, _ := authority.ROA(name)
+			free = free.Subtract(r.ResourceSet())
+		}
+		for _, childName := range authority.Children() {
+			child, ok := authority.Child(childName)
+			if !ok {
+				continue
+			}
+			if i+1 < len(path) && child == path[i+1] {
+				continue // the next path RC necessarily contains the target
+			}
+			free = free.Subtract(child.Resources())
+		}
+	}
+	hole := target.ResourceSet()
+	if !free.IsEmpty() {
+		// Smallest footprint: one prefix out of the free space.
+		hole = ipres.SetOfPrefixes(free.Prefixes()[0])
+	}
+	plan := &Plan{
+		Manipulator: p.Manipulator.Name,
+		Target:      ref,
+		Depth:       len(path),
+		Hole:        hole,
+	}
+
+	// Walk the path top-down. The top RC (manipulator's direct child) is
+	// shrunk in place; deeper path RCs need manipulator-issued
+	// replacements. At every level, non-path objects overlapping the hole
+	// must be reissued (make-before-break) to avoid collateral damage.
+	for i, authority := range path {
+		isHolder := authority == t.Holder
+		newRes := authority.Resources().Subtract(hole)
+
+		// Damaged siblings at this level: ROAs overlapping the hole
+		// (excluding the target itself at the holder level).
+		for _, name := range authority.ROAs() {
+			if isHolder && name == t.Name {
+				continue
+			}
+			r, _ := authority.ROA(name)
+			if r.ResourceSet().Overlaps(hole) {
+				plan.Steps = append(plan.Steps, Step{
+					Kind:    StepReissueROA,
+					Subject: name,
+					ROA:     r,
+					Detail:  fmt.Sprintf("reissue %s's ROA %s under %s before breaking it", authority.Name, r, p.Manipulator.Name),
+				})
+				plan.Reissued = append(plan.Reissued, fmt.Sprintf("roa:%s", r))
+			}
+		}
+		// Non-path child RCs overlapping the hole also need replacement
+		// RCs (their subtrees would otherwise be collateral).
+		for _, childName := range authority.Children() {
+			child, ok := authority.Child(childName)
+			if !ok {
+				continue
+			}
+			onPath := i+1 < len(path) && child == path[i+1]
+			if onPath {
+				continue
+			}
+			if child.Resources().Overlaps(hole) {
+				plan.Steps = append(plan.Steps, Step{
+					Kind:      StepReplacementRC,
+					Subject:   childName,
+					Authority: child,
+					Resources: child.Resources().Subtract(hole),
+					Detail:    fmt.Sprintf("issue replacement RC for %s's key (off-path, overlaps hole)", childName),
+				})
+				plan.Reissued = append(plan.Reissued, fmt.Sprintf("rc:%s", childName))
+			}
+		}
+		// The path RC itself.
+		if i == 0 {
+			plan.Steps = append(plan.Steps, Step{
+				Kind:      StepShrinkChild,
+				Subject:   authority.Name,
+				Resources: newRes,
+				Detail:    fmt.Sprintf("overwrite %s's RC in place without %v", authority.Name, hole),
+			})
+		} else {
+			plan.Steps = append(plan.Steps, Step{
+				Kind:      StepReplacementRC,
+				Subject:   authority.Name,
+				Authority: authority,
+				Resources: newRes,
+				Detail:    fmt.Sprintf("issue replacement RC for %s's key without %v", authority.Name, hole),
+			})
+			plan.Reissued = append(plan.Reissued, fmt.Sprintf("rc:%s", authority.Name))
+		}
+	}
+
+	// Order steps make-before-break: all reissues first, then the single
+	// in-place shrink last. (Replacement RCs are also "make" steps: they
+	// take effect only when the top shrink "breaks" the old chain.)
+	ordered := make([]Step, 0, len(plan.Steps))
+	var shrink []Step
+	for _, s := range plan.Steps {
+		if s.Kind == StepShrinkChild {
+			shrink = append(shrink, s)
+			continue
+		}
+		ordered = append(ordered, s)
+	}
+	plan.Steps = append(ordered, shrink...)
+
+	switch {
+	case plan.Depth >= 2:
+		plan.Method = MethodDeepWhack
+	case len(plan.Reissued) > 0:
+		plan.Method = MethodMakeBeforeBreak
+	default:
+		plan.Method = MethodShrink
+	}
+	return plan, nil
+}
+
+// Execute runs a plan against the live hierarchy. It returns the first
+// error; executed steps are not rolled back (faithful to reality).
+func (p *Planner) Execute(plan *Plan) error {
+	reissueCount := 0
+	for _, s := range plan.Steps {
+		switch s.Kind {
+		case StepDeleteROA:
+			if err := p.Manipulator.DeleteROA(s.Subject); err != nil {
+				return err
+			}
+		case StepRevokeROA:
+			if err := p.Manipulator.RevokeROA(s.Subject); err != nil {
+				return err
+			}
+		case StepRevokeChild:
+			if err := p.Manipulator.RevokeChild(s.Subject); err != nil {
+				return err
+			}
+		case StepReissueROA:
+			reissueCount++
+			name := fmt.Sprintf("reissued-%d-%s", reissueCount, s.Subject)
+			prefixes := make([]roa.Prefix, len(s.ROA.Prefixes))
+			copy(prefixes, s.ROA.Prefixes)
+			if _, err := p.Manipulator.IssueROA(name, s.ROA.ASID, prefixes...); err != nil {
+				return fmt.Errorf("core: reissuing %s: %w", s.Subject, err)
+			}
+		case StepReplacementRC:
+			if err := p.Manipulator.AdoptDescendant(s.Authority, s.Resources); err != nil {
+				return fmt.Errorf("core: replacement RC for %s: %w", s.Subject, err)
+			}
+		case StepShrinkChild:
+			if err := p.Manipulator.ShrinkChild(s.Subject, s.Resources); err != nil {
+				return fmt.Errorf("core: shrinking %s: %w", s.Subject, err)
+			}
+		default:
+			return fmt.Errorf("core: unknown step kind %v", s.Kind)
+		}
+	}
+	return nil
+}
+
+// CollateralOfHole computes which ROAs in the subtree under top (the
+// manipulator's direct child on the path) would be whacked by carving hole,
+// assuming NO make-before-break reissuance. Used to quantify what the
+// surgical plan avoided.
+func CollateralOfHole(top *ca.Authority, hole ipres.Set, except Target) []ROARef {
+	return subtreeROAs(top, func(h *ca.Authority, name string) bool {
+		if h == except.Holder && name == except.Name {
+			return true
+		}
+		r, _ := h.ROA(name)
+		return !r.ResourceSet().Overlaps(hole)
+	})
+}

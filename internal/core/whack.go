@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: the analysis and
+// mechanics of RPKI authority misbehavior. It plans and executes targeted
+// "whacks" — manipulations that make a chosen descendant ROA invalid — with
+// exact accounting of collateral damage and of the suspicious objects a
+// monitor could detect; and it closes the paper's Figure 1 loop by
+// simulating how transient RPKI faults become persistent routing failures
+// through the RPKI↔BGP circular dependency.
+//
+// Terminology follows the paper: a manipulator "whacks" a target ROA,
+// whatever the method. Methods are ordered from bluntest to most surgical:
+//
+//   - Revoke: revoke the RC of the subtree containing the target
+//     (Side Effect 1). Transparent, maximal collateral.
+//   - Delete: remove the target from the manipulator's own repository
+//     (Side Effect 2). Stealthy, zero collateral, only for the
+//     manipulator's own ROAs.
+//   - Shrink: overwrite the target's parent RC with the target's address
+//     space carved out (Side Effect 3). Stealthy, zero collateral when the
+//     carved hole overlaps nothing else.
+//   - MakeBeforeBreak: when the hole would damage siblings, first reissue
+//     them under the manipulator, then shrink (Figure 3). Leaves
+//     suspiciously-reissued objects.
+//   - DeepWhack: target below grandchild level; every authority on the
+//     path loses the hole, so each needs a replacement RC issued for its
+//     existing key, plus make-before-break for damaged siblings at every
+//     level (Side Effect 4). The most detectable.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ca"
+	"repro/internal/ipres"
+	"repro/internal/roa"
+)
+
+// Method identifies a whacking technique.
+type Method uint8
+
+const (
+	// MethodDelete removes the manipulator's own ROA (stealthy).
+	MethodDelete Method = iota
+	// MethodRevokeOwnROA revokes the manipulator's own ROA via CRL.
+	MethodRevokeOwnROA
+	// MethodRevokeSubtree revokes the child RC containing the target.
+	MethodRevokeSubtree
+	// MethodShrink overwrites the target's parent RC without the target's
+	// space, no other object affected.
+	MethodShrink
+	// MethodMakeBeforeBreak reissues damaged siblings, then shrinks.
+	MethodMakeBeforeBreak
+	// MethodDeepWhack shrinks across 2+ levels with replacement RCs.
+	MethodDeepWhack
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodDelete:
+		return "delete"
+	case MethodRevokeOwnROA:
+		return "revoke-own-roa"
+	case MethodRevokeSubtree:
+		return "revoke-subtree"
+	case MethodShrink:
+		return "shrink"
+	case MethodMakeBeforeBreak:
+		return "make-before-break"
+	case MethodDeepWhack:
+		return "deep-whack"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// Target identifies a ROA to whack: the authority that issued it and its
+// name at that authority.
+type Target struct {
+	Holder *ca.Authority
+	Name   string
+}
+
+// ROARef describes a ROA for reporting.
+type ROARef struct {
+	Holder string // issuing authority name
+	Name   string // object name
+	ROA    string // rendered "(prefix, AS)" form
+}
+
+// StepKind enumerates executable plan steps.
+type StepKind uint8
+
+const (
+	// StepDeleteROA deletes the manipulator's own ROA.
+	StepDeleteROA StepKind = iota
+	// StepRevokeROA revokes the manipulator's own ROA.
+	StepRevokeROA
+	// StepRevokeChild revokes a direct child RC.
+	StepRevokeChild
+	// StepReissueROA issues a copy of a descendant's ROA under the
+	// manipulator ("make-before-break").
+	StepReissueROA
+	// StepReplacementRC issues a replacement RC for a descendant's key
+	// with shrunken resources (deep whack).
+	StepReplacementRC
+	// StepShrinkChild overwrites a direct child RC with shrunken resources.
+	StepShrinkChild
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepDeleteROA:
+		return "delete-roa"
+	case StepRevokeROA:
+		return "revoke-roa"
+	case StepRevokeChild:
+		return "revoke-child"
+	case StepReissueROA:
+		return "reissue-roa"
+	case StepReplacementRC:
+		return "replacement-rc"
+	case StepShrinkChild:
+		return "shrink-child"
+	}
+	return fmt.Sprintf("StepKind(%d)", uint8(k))
+}
+
+// Step is one executable action of a plan.
+type Step struct {
+	Kind StepKind
+	// Subject names the object or authority acted upon.
+	Subject string
+	// Authority is the descendant authority for replacement-RC steps.
+	Authority *ca.Authority
+	// Resources is the new resource set for shrink/replacement steps.
+	Resources ipres.Set
+	// ROA is the ROA content for reissue steps.
+	ROA *roa.ROA
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Plan is a fully analyzed whack plan.
+type Plan struct {
+	// Method is the chosen technique.
+	Method Method
+	// Manipulator is the acting authority.
+	Manipulator string
+	// Target is the ROA being whacked.
+	Target ROARef
+	// Hole is the address space carved out (shrink-family methods).
+	Hole ipres.Set
+	// Steps are the executable actions, in order.
+	Steps []Step
+	// Collateral lists OTHER ROAs that become invalid as a side effect.
+	Collateral []ROARef
+	// Reissued lists the suspicious objects the plan creates (reissued
+	// ROAs and replacement RCs) — the monitor-visible footprint.
+	Reissued []string
+	// CRLVisible reports whether the plan leaves a trace on any CRL.
+	CRLVisible bool
+	// Depth is the number of RC hops from manipulator to the target's
+	// issuer (0 = own ROA, 1 = grandchild ROA, ...).
+	Depth int
+}
+
+// Detectability summarizes the plan's monitor-visible footprint: the count
+// of suspicious artifacts (CRL entries count as 1, each reissued object as
+// 1). Zero means the whack is indistinguishable from routine churn without
+// cross-repository correlation.
+func (p *Plan) Detectability() int {
+	n := len(p.Reissued)
+	if p.CRLVisible {
+		n++
+	}
+	return n
+}
+
+// String renders a readable summary.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan[%s] %s whacks %s %s (depth %d)\n", p.Method, p.Manipulator, p.Target.Holder, p.Target.ROA, p.Depth)
+	if !p.Hole.IsEmpty() {
+		fmt.Fprintf(&sb, "  hole: %v\n", p.Hole)
+	}
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "  step %d: %s %s — %s\n", i+1, s.Kind, s.Subject, s.Detail)
+	}
+	fmt.Fprintf(&sb, "  collateral: %d, reissued: %d, CRL-visible: %v\n", len(p.Collateral), len(p.Reissued), p.CRLVisible)
+	return sb.String()
+}

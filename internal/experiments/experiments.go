@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// analysis on top of this repository's substrates. Each experiment returns
+// a Result carrying the rendered artifact (the table/figure content), the
+// measured metrics, and named shape checks that encode what the paper
+// claims — who wins, what flips, what persists.
+//
+// Absolute numbers differ from the paper where the paper used production
+// data we substitute synthetically (see DESIGN.md); the checks assert the
+// qualitative shape instead.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Epoch is the fixed experiment clock: the first day of HotNets '13.
+var Epoch = time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
+
+// Clock returns the fixed epoch, for deterministic certificate validity.
+func Clock() time.Time { return Epoch }
+
+// Check is one named shape assertion.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier ("figure2", "table6", ...).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Text is the rendered artifact.
+	Text string
+	// Metrics are the measured quantities.
+	Metrics map[string]float64
+	// Checks are the shape assertions.
+	Checks []Check
+}
+
+// Passed reports whether every check holds.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failing checks.
+func (r *Result) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n\n", r.ID, r.Title)
+	sb.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		sb.WriteString("\nmetrics:\n")
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "  %-40s %g\n", name, r.Metrics[name])
+		}
+	}
+	sb.WriteString("\nshape checks:\n")
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  [%s] %-44s %s\n", mark, c.Name, c.Detail)
+	}
+	return sb.String()
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"figure1", "Dependency loop: RPKI → route validity → BGP → RPKI", Figure1},
+		{"figure2", "Model RPKI excerpt", Figure2},
+		{"figure3", "A ROA whacked by its grandparent (make-before-break)", Figure3},
+		{"table4", "RCs covering countries outside their parent RIR's jurisdiction", Table4},
+		{"figure5", "Route validity for 63.160.0.0/12 and subprefixes (left/right)", Figure5},
+		{"table6", "Impact of relying-party local policies", Table6},
+		{"se12", "Side Effects 1–2: unilateral reclamation, stealthy revocation", SideEffects12},
+		{"se34", "Side Effects 3–4: targeted whacking of distant descendants", SideEffects34},
+		{"se6", "Side Effect 6: a missing ROA invalidates a route", SideEffect6},
+		{"se7", "Side Effect 7: transient faults cause long-term failures", SideEffect7},
+		{"ext-suspenders", "Ablation: Suspenders-style grace cache vs Side Effect 7", ExtSuspenders},
+		{"ext-collateral", "Extension: collateral-damage distribution at scale", ExtCollateral},
+		{"ext-monitor", "Extension: monitor precision under benign churn", ExtMonitor},
+	}
+}
+
+// Run executes the experiment with the given ID ("all" runs everything and
+// concatenates).
+func Run(id string) ([]*Result, error) {
+	var out []*Result
+	for _, e := range All() {
+		if id != "all" && id != e.ID {
+			continue
+		}
+		r, err := e.Run()
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return out, nil
+}
+
+// Markdown renders results as a markdown report (one section per
+// experiment), for cmd/rpki-experiments -format markdown.
+func Markdown(results []*Result) string {
+	var sb strings.Builder
+	sb.WriteString("# Experiment results\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "\n## %s — %s\n\n```\n%s```\n", r.ID, r.Title, r.Text)
+		if len(r.Metrics) > 0 {
+			sb.WriteString("\n| metric | value |\n|---|---|\n")
+			names := make([]string, 0, len(r.Metrics))
+			for name := range r.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(&sb, "| %s | %g |\n", name, r.Metrics[name])
+			}
+		}
+		sb.WriteString("\n| shape check | result | detail |\n|---|---|---|\n")
+		for _, c := range r.Checks {
+			mark := "✅"
+			if !c.OK {
+				mark = "❌"
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %s |\n", c.Name, mark, c.Detail)
+		}
+	}
+	return sb.String()
+}

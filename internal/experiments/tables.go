@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/geo"
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// Table4 reproduces the cross-jurisdiction analysis: the paper's nine
+// salient RCs verbatim, plus a rate measurement on the synthetic allocation
+// model at production scale.
+func Table4() (*Result, error) {
+	r := &Result{ID: "table4", Title: "RCs & the countries they cover outside their parent RIR's jurisdiction (Table 4)"}
+	rows := geo.Table4()
+	paperStats := geo.Analyze(rows)
+
+	synth := geo.Synthetic(geo.SyntheticConfig{
+		Seed:                     2013,
+		Holdings:                 1300, // production-RPKI scale (footnote 4)
+		CrossBorderProb:          0.15,
+		SubAllocationsPerHolding: 6,
+	})
+	synthStats := geo.Analyze(synth)
+
+	var sb strings.Builder
+	sb.WriteString(geo.FormatTable(rows))
+	fmt.Fprintf(&sb, "\nsynthetic model (%d holdings, production scale): %d cross-border RCs (rate %.2f), %d distinct out-of-region countries\n",
+		synthStats.Holdings, synthStats.CrossBorder, synthStats.Rate(), synthStats.Countries)
+	r.Text = sb.String()
+
+	r.metric("paper_rows", float64(len(rows)))
+	r.metric("synthetic_rate", synthStats.Rate())
+	r.metric("synthetic_cross_border", float64(synthStats.CrossBorder))
+	r.check("nine_salient_rows", len(rows) == 9, "%d rows", len(rows))
+	r.check("all_rows_cross_border", paperStats.CrossBorder == 9,
+		"every Table 4 row lists only out-of-region countries")
+	r.check("cross_border_not_uncommon", synthStats.Rate() > 0.2,
+		"synthetic rate %.2f — the paper: 'cross-country certification is not uncommon'", synthStats.Rate())
+	return r, nil
+}
+
+// table6Topology builds the evaluation topology for the policy tradeoff:
+//
+//	     10 ~~~ 20          (tier-1 peers)
+//	    /  \   /  \
+//	   30   \ /    40       (transit ASes, customers of the tier-1s)
+//	   |     X     |
+//	victim  / \  attacker
+//	   1 --+   +-- 666
+//
+// Victim AS1 is a customer of 10 and 30; attacker AS666 a customer of 20
+// and 40. Sources measured: 10, 20, 30, 40.
+func table6Topology(policy bgp.Policy) (*bgp.Network, error) {
+	n := bgp.NewNetwork()
+	for _, asn := range []ipres.ASN{1, 666, 10, 20, 30, 40} {
+		n.AddAS(asn, policy)
+	}
+	steps := []error{
+		n.PeerOf(10, 20),
+		n.ProviderOf(10, 30),
+		n.ProviderOf(20, 40),
+		n.ProviderOf(10, 1),
+		n.ProviderOf(30, 1),
+		n.ProviderOf(20, 666),
+		n.ProviderOf(40, 666),
+		n.Originate(1, ipres.MustParsePrefix("63.174.16.0/22")),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+var table6Sources = []ipres.ASN{10, 20, 30, 40}
+
+// Table6 measures victim reachability under each local policy × threat
+// combination, reproducing the paper's tradeoff table:
+//
+//	                    routing attack   RPKI manipulation
+//	drop invalid              ✓                 ✗
+//	depref invalid      subprefix hijack        ✓
+func Table6() (*Result, error) {
+	r := &Result{ID: "table6", Title: "Impact of different local policies (Table 6)"}
+	dst := ipres.MustParseAddr("63.174.17.5") // inside the victim's /22
+
+	type cell struct {
+		policy bgp.Policy
+		threat string
+		frac   float64
+	}
+	var cells []cell
+	for _, policy := range []bgp.Policy{bgp.PolicyDropInvalid, bgp.PolicyDeprefInvalid} {
+		for _, threat := range []string{"subprefix-hijack", "rpki-manipulation"} {
+			n, err := table6Topology(policy)
+			if err != nil {
+				return nil, err
+			}
+			switch threat {
+			case "subprefix-hijack":
+				// The victim's ROA is intact; the attacker originates a
+				// subprefix of the victim's /22.
+				n.SetSharedIndex(rov.NewIndex(rov.VRP{
+					Prefix: ipres.MustParsePrefix("63.174.16.0/22"), MaxLength: 22, ASN: 1,
+				}))
+				if err := n.Originate(666, ipres.MustParsePrefix("63.174.17.0/24")); err != nil {
+					return nil, err
+				}
+			case "rpki-manipulation":
+				// The victim's ROA has been whacked while a covering ROA
+				// (different origin) remains: the victim's route is invalid.
+				n.SetSharedIndex(rov.NewIndex(rov.VRP{
+					Prefix: ipres.MustParsePrefix("63.174.16.0/20"), MaxLength: 20, ASN: 17054,
+				}))
+			}
+			frac, _, err := n.ReachabilityMatrix(table6Sources, dst, 1)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{policy, threat, frac})
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-22s %s\n", "relying-party", "prefix reachable during", "")
+	fmt.Fprintf(&sb, "%-16s %-22s %s\n", "policy", "routing attack", "RPKI manipulation")
+	byKey := map[string]float64{}
+	for _, c := range cells {
+		byKey[c.policy.String()+"/"+c.threat] = c.frac
+		r.metric("reach_"+c.policy.String()+"_"+c.threat, c.frac)
+	}
+	fmt.Fprintf(&sb, "%-16s %-22.2f %.2f\n", "drop invalid",
+		byKey["drop-invalid/subprefix-hijack"], byKey["drop-invalid/rpki-manipulation"])
+	fmt.Fprintf(&sb, "%-16s %-22.2f %.2f\n", "depref invalid",
+		byKey["depref-invalid/subprefix-hijack"], byKey["depref-invalid/rpki-manipulation"])
+	r.Text = sb.String()
+
+	r.check("drop_survives_routing_attack", byKey["drop-invalid/subprefix-hijack"] == 1.0,
+		"drop-invalid reaches the victim during a subprefix hijack: %.2f", byKey["drop-invalid/subprefix-hijack"])
+	r.check("drop_dies_under_manipulation", byKey["drop-invalid/rpki-manipulation"] == 0.0,
+		"drop-invalid loses the whacked prefix: %.2f", byKey["drop-invalid/rpki-manipulation"])
+	r.check("depref_hijacked_under_routing_attack", byKey["depref-invalid/subprefix-hijack"] < 1.0,
+		"depref-invalid leaves subprefix hijacks possible: %.2f", byKey["depref-invalid/subprefix-hijack"])
+	r.check("depref_survives_manipulation", byKey["depref-invalid/rpki-manipulation"] == 1.0,
+		"depref-invalid keeps reaching the whacked prefix: %.2f", byKey["depref-invalid/rpki-manipulation"])
+	return r, nil
+}

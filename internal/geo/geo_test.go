@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable4MatchesPaper(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	// Every listed country in the paper's table is OUTSIDE the parent
+	// RIR's jurisdiction — that is the table's definition.
+	for _, h := range rows {
+		outside := h.OutsideJurisdiction()
+		if len(outside) != len(h.Countries) {
+			t.Errorf("%s %v: %d of %d countries counted outside %s — table rows must be entirely out-of-region",
+				h.Holder, h.RC, len(outside), len(h.Countries), h.ParentRIR)
+		}
+	}
+	// Spot checks against the paper.
+	if rows[0].Holder != "Level3" || rows[0].RC.String() != "8.0.0.0/8" || len(rows[0].Countries) != 10 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[8].Holder != "Resilans" || rows[8].ParentRIR != RIPE {
+		t.Errorf("row 8 = %+v", rows[8])
+	}
+}
+
+func TestInRegion(t *testing.T) {
+	tests := []struct {
+		rir  RIR
+		c    Country
+		want bool
+	}{
+		{ARIN, "US", true},
+		{ARIN, "GB", false},
+		{ARIN, "MX", false}, // Mexico is LACNIC
+		{RIPE, "RU", true},
+		{RIPE, "US", false},
+		{APNIC, "AU", true},
+		{APNIC, "FR", false},
+		{LACNIC, "CO", true},
+		{AFRINIC, "ZW", true},
+	}
+	for _, tc := range tests {
+		if got := InRegion(tc.rir, tc.c); got != tc.want {
+			t.Errorf("InRegion(%s, %s) = %v, want %v", tc.rir, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(Table4())
+	for _, want := range []string{"Level3", "8.0.0.0/8", "Sprint", "63.160.0.0/12", "Resilans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 10 { // header + 9 rows
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestSyntheticDeterministicAndCalibrated(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 42, Holdings: 500, CrossBorderProb: 0.3, SubAllocationsPerHolding: 5}
+	h1 := Synthetic(cfg)
+	h2 := Synthetic(cfg)
+	if len(h1) != len(h2) || len(h1) != 500 {
+		t.Fatalf("lengths: %d %d", len(h1), len(h2))
+	}
+	s1, s2 := Analyze(h1), Analyze(h2)
+	if s1 != s2 {
+		t.Error("same seed must give same stats")
+	}
+	// With p=0.3 per suballocation and 5 suballocations, most RCs should
+	// have at least one cross-border country: 1-(0.7^5) ≈ 0.83.
+	if s1.Rate() < 0.7 || s1.Rate() > 0.95 {
+		t.Errorf("cross-border rate = %v, want ≈0.83", s1.Rate())
+	}
+	// "Not uncommon" must be non-trivial even at low probability.
+	low := Analyze(Synthetic(SyntheticConfig{Seed: 7, Holdings: 500, CrossBorderProb: 0.05, SubAllocationsPerHolding: 5}))
+	if low.CrossBorder == 0 {
+		t.Error("even low-probability model should show cross-border cases")
+	}
+	if low.Rate() >= s1.Rate() {
+		t.Error("rate should grow with probability")
+	}
+}
+
+func TestAnalyzeEmptyAndZero(t *testing.T) {
+	s := Analyze(nil)
+	if s.Rate() != 0 || s.Holdings != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	noCross := Analyze(Synthetic(SyntheticConfig{Seed: 1, Holdings: 50, CrossBorderProb: 0, SubAllocationsPerHolding: 3}))
+	if noCross.CrossBorder != 0 || noCross.Countries != 0 {
+		t.Errorf("p=0 should have no cross-border: %+v", noCross)
+	}
+}
+
+func TestTable4Analysis(t *testing.T) {
+	s := Analyze(Table4())
+	if s.CrossBorder != 9 {
+		t.Errorf("all nine paper rows are cross-border, got %d", s.CrossBorder)
+	}
+	if s.Countries < 15 {
+		t.Errorf("distinct out-of-region countries = %d, want many", s.Countries)
+	}
+}

@@ -1,0 +1,178 @@
+package ipres
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrIPv4(t *testing.T) {
+	tests := []struct {
+		in   string
+		ok   bool
+		back string
+	}{
+		{"0.0.0.0", true, "0.0.0.0"},
+		{"255.255.255.255", true, "255.255.255.255"},
+		{"63.160.0.0", true, "63.160.0.0"},
+		{"63.174.23.255", true, "63.174.23.255"},
+		{"1.2.3", false, ""},
+		{"1.2.3.4.5", false, ""},
+		{"256.0.0.0", false, ""},
+		{"01.2.3.4", false, ""},
+		{"", false, ""},
+		{"a.b.c.d", false, ""},
+	}
+	for _, tc := range tests {
+		a, err := ParseAddr(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && a.String() != tc.back {
+			t.Errorf("ParseAddr(%q).String() = %q, want %q", tc.in, a.String(), tc.back)
+		}
+	}
+}
+
+func TestParseAddrIPv6(t *testing.T) {
+	tests := []struct {
+		in   string
+		ok   bool
+		back string
+	}{
+		{"::", true, "::"},
+		{"::1", true, "::1"},
+		{"1::", true, "1::"},
+		{"2001:db8::1", true, "2001:db8::1"},
+		{"2001:0db8:0000:0000:0000:0000:0000:0001", true, "2001:db8::1"},
+		{"fe80::1:2:3:4", true, "fe80::1:2:3:4"},
+		{"1:2:3:4:5:6:7:8", true, "1:2:3:4:5:6:7:8"},
+		{"1:0:0:2:0:0:0:3", true, "1:0:0:2::3"},
+		{"::ffff:0:0", true, "::ffff:0:0"},
+		{"1:2:3:4:5:6:7:8:9", false, ""},
+		{"1:::2", false, ""},
+		{"1::2::3", false, ""},
+		{"12345::", false, ""},
+		{"g::1", false, ""},
+	}
+	for _, tc := range tests {
+		a, err := ParseAddr(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && a.String() != tc.back {
+			t.Errorf("ParseAddr(%q).String() = %q, want %q", tc.in, a.String(), tc.back)
+		}
+	}
+}
+
+func TestAddrCmpOrdersFamilies(t *testing.T) {
+	v4 := MustParseAddr("255.255.255.255")
+	v6 := MustParseAddr("::")
+	if v4.Cmp(v6) >= 0 {
+		t.Errorf("IPv4 max should order before IPv6 min")
+	}
+	if v6.Cmp(v4) <= 0 {
+		t.Errorf("IPv6 min should order after IPv4 max")
+	}
+}
+
+func TestAddrNextPrev(t *testing.T) {
+	a := MustParseAddr("63.174.23.255")
+	n, ok := a.Next()
+	if !ok || n.String() != "63.174.24.0" {
+		t.Fatalf("Next(63.174.23.255) = %v, %v", n, ok)
+	}
+	p, ok := n.Prev()
+	if !ok || p != a {
+		t.Fatalf("Prev round-trip failed: %v", p)
+	}
+	if _, ok := MustParseAddr("255.255.255.255").Next(); ok {
+		t.Error("Next of IPv4 max should overflow")
+	}
+	if _, ok := MustParseAddr("0.0.0.0").Prev(); ok {
+		t.Error("Prev of IPv4 min should underflow")
+	}
+	if _, ok := MustParseAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff").Next(); ok {
+		t.Error("Next of IPv6 max should overflow")
+	}
+	if _, ok := MustParseAddr("::").Prev(); ok {
+		t.Error("Prev of IPv6 min should underflow")
+	}
+}
+
+func TestAddrBytesRoundTrip(t *testing.T) {
+	a := MustParseAddr("10.20.30.40")
+	if got := AddrFrom4(a.As4()); got != a {
+		t.Errorf("IPv4 byte round-trip: %v", got)
+	}
+	b := MustParseAddr("2001:db8::dead:beef")
+	if got := AddrFrom16(b.As16()); got != b {
+		t.Errorf("IPv6 byte round-trip: %v", got)
+	}
+	if len(a.Bytes()) != 4 || len(b.Bytes()) != 16 {
+		t.Error("Bytes length mismatch")
+	}
+}
+
+func TestAddrStringParseQuickIPv4(t *testing.T) {
+	f := func(v uint32) bool {
+		a := AddrFromUint32(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrStringParseQuickIPv6(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		var b [16]byte
+		for i := 7; i >= 0; i-- {
+			b[i] = byte(hi >> uint(8*(7-i)))
+			b[i+8] = byte(lo >> uint(8*(7-i)))
+		}
+		a := AddrFrom16(b)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrNextIsStrictlyGreater(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a := AddrFromUint32(rng.Uint32())
+		n, ok := a.Next()
+		if !ok {
+			continue
+		}
+		if n.Cmp(a) <= 0 {
+			t.Fatalf("Next(%v) = %v not greater", a, n)
+		}
+	}
+}
+
+func TestFamilyBasics(t *testing.T) {
+	if IPv4.Width() != 32 || IPv6.Width() != 128 {
+		t.Error("family widths wrong")
+	}
+	if !IPv4.Valid() || !IPv6.Valid() || Family(0).Valid() || Family(3).Valid() {
+		t.Error("family validity wrong")
+	}
+	if IPv4.String() != "IPv4" || IPv6.String() != "IPv6" {
+		t.Error("family strings wrong")
+	}
+}
+
+func TestInvalidAddrString(t *testing.T) {
+	var a Addr
+	if a.String() != "invalid" || a.IsValid() {
+		t.Error("zero Addr should be invalid")
+	}
+}

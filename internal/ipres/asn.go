@@ -1,0 +1,209 @@
+package ipres
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// ParseASN parses an AS number, accepting both "7018" and "AS7018".
+func ParseASN(s string) (ASN, error) {
+	t := strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+	v, err := strconv.ParseUint(t, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("ipres: invalid ASN %q", s)
+	}
+	return ASN(v), nil
+}
+
+// String renders the ASN in "AS64496" form.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
+
+// ASNRange is an inclusive range of AS numbers.
+type ASNRange struct {
+	Lo, Hi ASN
+}
+
+// Contains reports whether the range contains a.
+func (r ASNRange) Contains(a ASN) bool { return r.Lo <= a && a <= r.Hi }
+
+// String renders the range as "AS1-AS5" or "AS7" for a singleton.
+func (r ASNRange) String() string {
+	if r.Lo == r.Hi {
+		return r.Lo.String()
+	}
+	return r.Lo.String() + "-" + r.Hi.String()
+}
+
+// ASNSet is a canonical set of AS numbers: sorted, disjoint, maximally
+// merged ranges. The zero ASNSet is empty and ready to use. ASNSets are
+// immutable: all operations return new sets.
+type ASNSet struct {
+	ranges []ASNRange
+}
+
+// NewASNSet builds a canonical ASN set from arbitrary ranges.
+func NewASNSet(ranges ...ASNRange) ASNSet {
+	rs := make([]ASNRange, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Lo <= r.Hi {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Lo != rs[j].Lo {
+			return rs[i].Lo < rs[j].Lo
+		}
+		return rs[i].Hi < rs[j].Hi
+	})
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 {
+			last := out[n-1]
+			// Merge if overlapping or adjacent (watch uint32 overflow).
+			if r.Lo <= last.Hi || (last.Hi != ^ASN(0) && r.Lo == last.Hi+1) {
+				if r.Hi > last.Hi {
+					out[n-1].Hi = r.Hi
+				}
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return ASNSet{ranges: append([]ASNRange(nil), out...)}
+}
+
+// ASNSetOf builds a set from individual AS numbers.
+func ASNSetOf(asns ...ASN) ASNSet {
+	rs := make([]ASNRange, len(asns))
+	for i, a := range asns {
+		rs[i] = ASNRange{a, a}
+	}
+	return NewASNSet(rs...)
+}
+
+// ParseASNSet parses a comma-separated list of ASNs and ASN ranges, e.g.
+// "AS64496, AS64500-AS64510".
+func ParseASNSet(s string) (ASNSet, error) {
+	var rs []ASNRange
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, err := ParseASN(strings.TrimSpace(part[:i]))
+			if err != nil {
+				return ASNSet{}, err
+			}
+			hi, err := ParseASN(strings.TrimSpace(part[i+1:]))
+			if err != nil {
+				return ASNSet{}, err
+			}
+			if lo > hi {
+				return ASNSet{}, fmt.Errorf("ipres: inverted ASN range %q", part)
+			}
+			rs = append(rs, ASNRange{lo, hi})
+			continue
+		}
+		a, err := ParseASN(part)
+		if err != nil {
+			return ASNSet{}, err
+		}
+		rs = append(rs, ASNRange{a, a})
+	}
+	return NewASNSet(rs...), nil
+}
+
+// Ranges returns the canonical ranges. The returned slice must not be
+// modified.
+func (s ASNSet) Ranges() []ASNRange { return s.ranges }
+
+// IsEmpty reports whether the set is empty.
+func (s ASNSet) IsEmpty() bool { return len(s.ranges) == 0 }
+
+// Contains reports whether the set contains a.
+func (s ASNSet) Contains(a ASN) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Hi >= a })
+	return i < len(s.ranges) && s.ranges[i].Contains(a)
+}
+
+// Covers reports whether s contains every ASN of t.
+func (s ASNSet) Covers(t ASNSet) bool {
+	for _, r := range t.ranges {
+		i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Hi >= r.Lo })
+		if i >= len(s.ranges) || s.ranges[i].Lo > r.Lo || s.ranges[i].Hi < r.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s ASNSet) Union(t ASNSet) ASNSet {
+	return NewASNSet(append(append([]ASNRange(nil), s.ranges...), t.ranges...)...)
+}
+
+// Subtract returns s \ t.
+func (s ASNSet) Subtract(t ASNSet) ASNSet {
+	var out []ASNRange
+	for _, a := range s.ranges {
+		pieces := []ASNRange{a}
+		for _, b := range t.ranges {
+			var next []ASNRange
+			for _, p := range pieces {
+				if b.Hi < p.Lo || b.Lo > p.Hi {
+					next = append(next, p)
+					continue
+				}
+				if p.Lo < b.Lo {
+					next = append(next, ASNRange{p.Lo, b.Lo - 1})
+				}
+				if b.Hi < p.Hi {
+					next = append(next, ASNRange{b.Hi + 1, p.Hi})
+				}
+			}
+			pieces = next
+		}
+		out = append(out, pieces...)
+	}
+	return ASNSet{ranges: out}
+}
+
+// Equal reports whether two ASN sets are identical.
+func (s ASNSet) Equal(t ASNSet) bool {
+	if len(s.ranges) != len(t.ranges) {
+		return false
+	}
+	for i := range s.ranges {
+		if s.ranges[i] != t.ranges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of ASNs in the set.
+func (s ASNSet) Size() uint64 {
+	var n uint64
+	for _, r := range s.ranges {
+		n += uint64(r.Hi-r.Lo) + 1
+	}
+	return n
+}
+
+// String renders the set as a comma-separated list.
+func (s ASNSet) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ranges))
+	for i, r := range s.ranges {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}

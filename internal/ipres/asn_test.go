@@ -1,0 +1,126 @@
+package ipres
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseASN(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ASN
+		ok   bool
+	}{
+		{"7018", 7018, true},
+		{"AS7018", 7018, true},
+		{"as17054", 17054, true},
+		{"4294967295", 4294967295, true},
+		{"4294967296", 0, false},
+		{"-1", 0, false},
+		{"", 0, false},
+		{"ASX", 0, false},
+	} {
+		got, err := ParseASN(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseASN(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if ASN(1239).String() != "AS1239" {
+		t.Error("ASN string wrong")
+	}
+}
+
+func TestASNSetCanonical(t *testing.T) {
+	s := NewASNSet(ASNRange{5, 10}, ASNRange{1, 6}, ASNRange{11, 12})
+	if len(s.Ranges()) != 1 || s.Ranges()[0] != (ASNRange{1, 12}) {
+		t.Errorf("got %v", s)
+	}
+	s2 := ASNSetOf(1, 3, 2, 3)
+	if s2.String() != "AS1-AS3" {
+		t.Errorf("got %v", s2)
+	}
+	if s2.Size() != 3 {
+		t.Errorf("size = %d", s2.Size())
+	}
+}
+
+func TestASNSetContainsCovers(t *testing.T) {
+	s := NewASNSet(ASNRange{100, 200}, ASNRange{300, 400})
+	if !s.Contains(150) || s.Contains(250) || !s.Contains(300) {
+		t.Error("contains wrong")
+	}
+	if !s.Covers(NewASNSet(ASNRange{120, 130}, ASNRange{350, 400})) {
+		t.Error("should cover sub-ranges")
+	}
+	if s.Covers(NewASNSet(ASNRange{150, 250})) {
+		t.Error("should not cover range spanning gap")
+	}
+	if !s.Covers(ASNSet{}) {
+		t.Error("covers empty")
+	}
+}
+
+func TestASNSetSubtract(t *testing.T) {
+	s := NewASNSet(ASNRange{1, 100})
+	got := s.Subtract(NewASNSet(ASNRange{40, 60}))
+	want := NewASNSet(ASNRange{1, 39}, ASNRange{61, 100})
+	if !got.Equal(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if !s.Subtract(s).IsEmpty() {
+		t.Error("self-subtract should be empty")
+	}
+}
+
+func TestASNSetUnionSubtractRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	randASN := func(n int) ASNSet {
+		rs := make([]ASNRange, n)
+		for i := range rs {
+			a, b := ASN(rng.Uint32()>>16), ASN(rng.Uint32()>>16)
+			if a > b {
+				a, b = b, a
+			}
+			rs[i] = ASNRange{a, b}
+		}
+		return NewASNSet(rs...)
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randASN(1+rng.Intn(4)), randASN(1+rng.Intn(4))
+		u := a.Union(b)
+		if !u.Covers(a) || !u.Covers(b) {
+			t.Fatal("union must cover operands")
+		}
+		diff := a.Subtract(b)
+		if b.Covers(diff) && !diff.IsEmpty() {
+			t.Fatal("difference must escape subtrahend")
+		}
+		if !diff.Union(b).Equal(u) {
+			t.Fatalf("(a\\b)∪b != a∪b: a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestASNSetMergeAdjacentOverflowGuard(t *testing.T) {
+	max := ^ASN(0)
+	s := NewASNSet(ASNRange{max - 1, max}, ASNRange{0, 1})
+	if len(s.Ranges()) != 2 {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestParseASNSet(t *testing.T) {
+	s, err := ParseASNSet("AS64496, AS64500-AS64510")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(64496) || !s.Contains(64505) || s.Contains(64497) {
+		t.Errorf("got %v", s)
+	}
+	if _, err := ParseASNSet("AS10-AS5"); err == nil {
+		t.Error("want error for inverted range")
+	}
+	if _, err := ParseASNSet("ASX"); err == nil {
+		t.Error("want error for junk")
+	}
+}

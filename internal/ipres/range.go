@@ -1,0 +1,199 @@
+package ipres
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Range is an inclusive address range [Lo, Hi] within a single family.
+// The zero Range is invalid.
+type Range struct {
+	lo, hi Addr
+}
+
+// RangeFrom returns the inclusive range [lo, hi]. lo and hi must be valid
+// addresses of the same family with lo <= hi.
+func RangeFrom(lo, hi Addr) (Range, error) {
+	if !lo.IsValid() || !hi.IsValid() {
+		return Range{}, fmt.Errorf("ipres: invalid address in range")
+	}
+	if lo.family != hi.family {
+		return Range{}, fmt.Errorf("ipres: mixed-family range %v-%v", lo, hi)
+	}
+	if lo.Cmp(hi) > 0 {
+		return Range{}, fmt.Errorf("ipres: inverted range %v-%v", lo, hi)
+	}
+	return Range{lo: lo, hi: hi}, nil
+}
+
+// MustRangeFrom is RangeFrom that panics on error.
+func MustRangeFrom(lo, hi Addr) Range {
+	r, err := RangeFrom(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseRange parses "lo-hi" (e.g. "63.174.16.0-63.174.23.255") or a CIDR
+// prefix, which denotes its full range.
+func ParseRange(s string) (Range, error) {
+	if strings.Contains(s, "/") {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return Range{}, err
+		}
+		return p.Range(), nil
+	}
+	i := strings.IndexByte(s, '-')
+	if i < 0 {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return Range{}, err
+		}
+		return Range{lo: a, hi: a}, nil
+	}
+	lo, err := ParseAddr(strings.TrimSpace(s[:i]))
+	if err != nil {
+		return Range{}, err
+	}
+	hi, err := ParseAddr(strings.TrimSpace(s[i+1:]))
+	if err != nil {
+		return Range{}, err
+	}
+	return RangeFrom(lo, hi)
+}
+
+// MustParseRange is ParseRange that panics on error.
+func MustParseRange(s string) Range {
+	r, err := ParseRange(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lo returns the first address of the range.
+func (r Range) Lo() Addr { return r.lo }
+
+// Hi returns the last address of the range.
+func (r Range) Hi() Addr { return r.hi }
+
+// Family returns the range's address family.
+func (r Range) Family() Family { return r.lo.family }
+
+// IsValid reports whether r is a valid range.
+func (r Range) IsValid() bool { return r.lo.IsValid() && r.hi.IsValid() }
+
+// Contains reports whether the range contains addr.
+func (r Range) Contains(a Addr) bool {
+	return a.family == r.lo.family && r.lo.Cmp(a) <= 0 && a.Cmp(r.hi) <= 0
+}
+
+// ContainsRange reports whether r fully contains s.
+func (r Range) ContainsRange(s Range) bool {
+	return s.lo.family == r.lo.family && r.lo.Cmp(s.lo) <= 0 && s.hi.Cmp(r.hi) <= 0
+}
+
+// Overlaps reports whether r and s share any addresses.
+func (r Range) Overlaps(s Range) bool {
+	return s.lo.family == r.lo.family && r.lo.Cmp(s.hi) <= 0 && s.lo.Cmp(r.hi) <= 0
+}
+
+// Adjacent reports whether r immediately precedes s (r.Hi+1 == s.Lo) so that
+// they can be merged without a gap.
+func (r Range) Adjacent(s Range) bool {
+	if s.lo.family != r.lo.family {
+		return false
+	}
+	next, ok := r.hi.Next()
+	return ok && next == s.lo
+}
+
+// Cmp orders ranges by Lo, then by Hi.
+func (r Range) Cmp(s Range) int {
+	if c := r.lo.Cmp(s.lo); c != 0 {
+		return c
+	}
+	return r.hi.Cmp(s.hi)
+}
+
+// Size returns the number of addresses in the range as a float64 (ranges can
+// exceed uint64 for IPv6).
+func (r Range) Size() float64 {
+	d, _ := r.hi.value.sub(r.lo.value)
+	return float64(d.hi)*18446744073709551616.0 + float64(d.lo) + 1
+}
+
+// Prefixes decomposes the range into the minimal ordered list of CIDR
+// prefixes that exactly covers it.
+func (r Range) Prefixes() []Prefix {
+	if !r.IsValid() {
+		return nil
+	}
+	w := r.lo.family.Width()
+	var out []Prefix
+	cur := r.lo
+	for {
+		// The largest prefix starting at cur: limited by alignment of cur
+		// and by the remaining span to r.hi.
+		val := cur.value
+		if r.lo.family == IPv4 {
+			val = val.shl(96) // normalize to top bits for tz math
+		}
+		tz := val.trailingZeros()
+		if tz > 128 {
+			tz = 128
+		}
+		maxByAlign := tz - (128 - w) // host bits available from alignment
+		if cur.value.isZero() {
+			maxByAlign = w
+		}
+		if maxByAlign > w {
+			maxByAlign = w
+		}
+		// Remaining span: hi - cur + 1; the largest power of two <= span.
+		span, _ := r.hi.value.sub(cur.value)
+		span, overflow := span.addOne()
+		var maxBySpan int
+		if overflow {
+			maxBySpan = w
+		} else {
+			maxBySpan = 127 - span.leadingZeros()
+			if maxBySpan < 0 {
+				maxBySpan = 0
+			}
+			if maxBySpan > w {
+				maxBySpan = w
+			}
+		}
+		host := maxByAlign
+		if maxBySpan < host {
+			host = maxBySpan
+		}
+		p := MustPrefixFrom(cur, w-host)
+		out = append(out, p)
+		last := p.Range().hi
+		if last.Cmp(r.hi) >= 0 {
+			break
+		}
+		next, ok := last.Next()
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	return out
+}
+
+// String renders the range as "lo-hi", or as a CIDR prefix when the range is
+// exactly one prefix.
+func (r Range) String() string {
+	if !r.IsValid() {
+		return "invalid-range"
+	}
+	if ps := r.Prefixes(); len(ps) == 1 {
+		return ps[0].String()
+	}
+	return r.lo.String() + "-" + r.hi.String()
+}

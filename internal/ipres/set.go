@@ -1,0 +1,271 @@
+package ipres
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a canonical set of IP addresses represented as sorted, disjoint,
+// maximally merged ranges. IPv4 ranges order before IPv6 ranges. The zero
+// Set is the empty set and is ready to use. Sets are immutable: all
+// operations return new Sets.
+type Set struct {
+	ranges []Range
+}
+
+// EmptySet returns the empty resource set.
+func EmptySet() Set { return Set{} }
+
+// NewSet builds a canonical set from arbitrary (possibly overlapping,
+// unsorted) ranges.
+func NewSet(ranges ...Range) Set {
+	rs := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.IsValid() {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Cmp(rs[j]) < 0 })
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 {
+			last := out[n-1]
+			if last.Overlaps(r) || last.Adjacent(r) {
+				if r.hi.Cmp(last.hi) > 0 {
+					out[n-1].hi = r.hi
+				}
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return Set{ranges: append([]Range(nil), out...)}
+}
+
+// SetOfPrefixes builds a canonical set from prefixes.
+func SetOfPrefixes(prefixes ...Prefix) Set {
+	rs := make([]Range, 0, len(prefixes))
+	for _, p := range prefixes {
+		if p.IsValid() {
+			rs = append(rs, p.Range())
+		}
+	}
+	return NewSet(rs...)
+}
+
+// ParseSet parses a comma-separated list of prefixes and/or "lo-hi" ranges,
+// e.g. "63.174.16.0-63.174.23.255, 63.174.25.0/24".
+func ParseSet(s string) (Set, error) {
+	var rs []Range
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := ParseRange(part)
+		if err != nil {
+			return Set{}, err
+		}
+		rs = append(rs, r)
+	}
+	return NewSet(rs...), nil
+}
+
+// MustParseSet is ParseSet that panics on error.
+func MustParseSet(s string) Set {
+	set, err := ParseSet(s)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Ranges returns the canonical ranges of the set. The returned slice must
+// not be modified.
+func (s Set) Ranges() []Range { return s.ranges }
+
+// IsEmpty reports whether the set contains no addresses.
+func (s Set) IsEmpty() bool { return len(s.ranges) == 0 }
+
+// NumRanges returns the number of canonical ranges.
+func (s Set) NumRanges() int { return len(s.ranges) }
+
+// Equal reports whether two sets contain exactly the same addresses.
+func (s Set) Equal(t Set) bool {
+	if len(s.ranges) != len(t.ranges) {
+		return false
+	}
+	for i := range s.ranges {
+		if s.ranges[i] != t.ranges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAddr reports whether the set contains addr.
+func (s Set) ContainsAddr(a Addr) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool {
+		return s.ranges[i].hi.Cmp(a) >= 0
+	})
+	return i < len(s.ranges) && s.ranges[i].Contains(a)
+}
+
+// ContainsRange reports whether the set fully contains range r.
+// Because the set is canonical, r must fit inside a single stored range.
+func (s Set) ContainsRange(r Range) bool {
+	if !r.IsValid() {
+		return false
+	}
+	i := sort.Search(len(s.ranges), func(i int) bool {
+		return s.ranges[i].hi.Cmp(r.lo) >= 0
+	})
+	return i < len(s.ranges) && s.ranges[i].ContainsRange(r)
+}
+
+// ContainsPrefix reports whether the set fully contains prefix p.
+func (s Set) ContainsPrefix(p Prefix) bool { return s.ContainsRange(p.Range()) }
+
+// Covers reports whether s contains every address of t (s ⊇ t). This is the
+// RFC 3779 resource-containment check used in certificate path validation.
+func (s Set) Covers(t Set) bool {
+	for _, r := range t.ranges {
+		if !s.ContainsRange(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether s and t share any addresses.
+func (s Set) Overlaps(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(t.ranges) {
+		a, b := s.ranges[i], t.ranges[j]
+		if a.Overlaps(b) {
+			return true
+		}
+		// Advance the range that ends first in global order.
+		if a.Cmp(b) < 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	return NewSet(append(append([]Range(nil), s.ranges...), t.ranges...)...)
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var out []Range
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(t.ranges) {
+		a, b := s.ranges[i], t.ranges[j]
+		if a.Overlaps(b) {
+			lo := a.lo
+			if b.lo.Cmp(lo) > 0 {
+				lo = b.lo
+			}
+			hi := a.hi
+			if b.hi.Cmp(hi) < 0 {
+				hi = b.hi
+			}
+			out = append(out, Range{lo: lo, hi: hi})
+		}
+		// Advance whichever ends first; Addr.Cmp orders across families.
+		if a.hi.Cmp(b.hi) <= 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ranges: out}
+}
+
+// Subtract returns s \ t.
+func (s Set) Subtract(t Set) Set {
+	if t.IsEmpty() || s.IsEmpty() {
+		return s
+	}
+	var out []Range
+	for _, a := range s.ranges {
+		pieces := []Range{a}
+		for _, b := range t.ranges {
+			var next []Range
+			for _, p := range pieces {
+				next = append(next, subtractRange(p, b)...)
+			}
+			pieces = next
+			if len(pieces) == 0 {
+				break
+			}
+		}
+		out = append(out, pieces...)
+	}
+	return Set{ranges: out}
+}
+
+// subtractRange returns the pieces of a not covered by b (0, 1, or 2 ranges,
+// in order).
+func subtractRange(a, b Range) []Range {
+	if !a.Overlaps(b) {
+		return []Range{a}
+	}
+	var out []Range
+	if a.lo.Cmp(b.lo) < 0 {
+		hi, _ := b.lo.Prev()
+		out = append(out, Range{lo: a.lo, hi: hi})
+	}
+	if b.hi.Cmp(a.hi) < 0 {
+		lo, _ := b.hi.Next()
+		out = append(out, Range{lo: lo, hi: a.hi})
+	}
+	return out
+}
+
+// Prefixes returns the minimal list of CIDR prefixes exactly covering the
+// set, in order.
+func (s Set) Prefixes() []Prefix {
+	var out []Prefix
+	for _, r := range s.ranges {
+		out = append(out, r.Prefixes()...)
+	}
+	return out
+}
+
+// Size returns the total number of addresses in the set as a float64.
+func (s Set) Size() float64 {
+	var total float64
+	for _, r := range s.ranges {
+		total += r.Size()
+	}
+	return total
+}
+
+// Family returns the subset of s belonging to family f.
+func (s Set) Family(f Family) Set {
+	var out []Range
+	for _, r := range s.ranges {
+		if r.Family() == f {
+			out = append(out, r)
+		}
+	}
+	return Set{ranges: out}
+}
+
+// String renders the set as a comma-separated list of prefixes/ranges.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ranges))
+	for i, r := range s.ranges {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,317 @@
+package ipres
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangePrefixes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"63.174.16.0-63.174.23.255", []string{"63.174.16.0/21"}},
+		{"63.174.25.0-63.174.31.255", []string{"63.174.25.0/24", "63.174.26.0/23", "63.174.28.0/22"}},
+		{"0.0.0.0-255.255.255.255", []string{"0.0.0.0/0"}},
+		{"10.0.0.1-10.0.0.1", []string{"10.0.0.1/32"}},
+		{"10.0.0.1-10.0.0.2", []string{"10.0.0.1/32", "10.0.0.2/32"}},
+		{"10.0.0.0-10.0.0.255", []string{"10.0.0.0/24"}},
+		{"2001:db8::-2001:db8::ffff", []string{"2001:db8::/112"}},
+	}
+	for _, tc := range tests {
+		got := MustParseRange(tc.in).Prefixes()
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i].String() != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRangePrefixesExactCoverQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		r := MustRangeFrom(AddrFromUint32(a), AddrFromUint32(b))
+		ps := r.Prefixes()
+		// Prefixes must tile the range exactly, in order, without gaps.
+		cur := r.Lo()
+		for _, p := range ps {
+			pr := p.Range()
+			if pr.Lo() != cur {
+				return false
+			}
+			next, ok := pr.Hi().Next()
+			if !ok {
+				return pr.Hi() == r.Hi()
+			}
+			cur = next
+		}
+		last, _ := r.Hi().Next()
+		return cur == last || ps[len(ps)-1].Range().Hi() == r.Hi()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetCanonicalization(t *testing.T) {
+	s := MustParseSet("10.0.1.0/24, 10.0.0.0/24")
+	if s.NumRanges() != 1 {
+		t.Errorf("adjacent prefixes should merge: %v", s)
+	}
+	if s.String() != "10.0.0.0/23" {
+		t.Errorf("got %v", s)
+	}
+	s2 := MustParseSet("10.0.0.0/24, 10.0.0.128/25")
+	if s2.NumRanges() != 1 || s2.String() != "10.0.0.0/24" {
+		t.Errorf("overlap should merge: %v", s2)
+	}
+	s3 := MustParseSet("10.0.0.0/24, 10.0.2.0/24")
+	if s3.NumRanges() != 2 {
+		t.Errorf("gap should not merge: %v", s3)
+	}
+}
+
+func TestSetMixedFamilies(t *testing.T) {
+	s := MustParseSet("2001:db8::/32, 10.0.0.0/8")
+	if s.NumRanges() != 2 {
+		t.Fatalf("got %v", s)
+	}
+	if s.Ranges()[0].Family() != IPv4 || s.Ranges()[1].Family() != IPv6 {
+		t.Error("IPv4 should sort before IPv6")
+	}
+	if s.Family(IPv4).NumRanges() != 1 || s.Family(IPv6).NumRanges() != 1 {
+		t.Error("family filter wrong")
+	}
+}
+
+func TestSetSubtractPaperExample(t *testing.T) {
+	// Section 3.1: Sprint removes the target ROA's space 63.174.16.0/22
+	// minus... actually the Figure 3 example: Continental Broadband's RC
+	// 63.174.16.0/20 minus the /24 at 63.174.24.0 yields the two ranges
+	// [63.174.16.0–63.174.23.255] and [63.174.25.0–63.174.31.255].
+	rc := MustParseSet("63.174.16.0/20")
+	hole := MustParseSet("63.174.24.0/24")
+	got := rc.Subtract(hole)
+	want := MustParseSet("63.174.16.0-63.174.23.255, 63.174.25.0-63.174.31.255")
+	if !got.Equal(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got.ContainsPrefix(MustParsePrefix("63.174.24.0/24")) {
+		t.Error("hole should be removed")
+	}
+	if !got.ContainsPrefix(MustParsePrefix("63.174.25.0/24")) {
+		t.Error("remainder should persist")
+	}
+}
+
+func TestSetCoversAndOverlaps(t *testing.T) {
+	parent := MustParseSet("63.160.0.0/12")
+	child := MustParseSet("63.174.16.0/20")
+	other := MustParseSet("64.86.0.0/16")
+	if !parent.Covers(child) {
+		t.Error("parent should cover child")
+	}
+	if child.Covers(parent) {
+		t.Error("child should not cover parent")
+	}
+	if !parent.Overlaps(child) || parent.Overlaps(other) {
+		t.Error("overlap wrong")
+	}
+	if !parent.Covers(EmptySet()) {
+		t.Error("everything covers the empty set")
+	}
+	split := MustParseSet("63.174.16.0/21, 63.174.24.0/21")
+	if !parent.Covers(split) {
+		t.Error("parent should cover split set")
+	}
+	// A set covering a range that spans two of its canonical ranges must
+	// report false (there is a gap).
+	gappy := MustParseSet("10.0.0.0/24, 10.0.2.0/24")
+	if gappy.ContainsRange(MustParseRange("10.0.0.0-10.0.2.255")) {
+		t.Error("gap should break containment")
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := MustParseSet("63.160.0.0/12")
+	b := MustParseSet("63.174.16.0/20, 64.0.0.0/8")
+	got := a.Intersect(b)
+	want := MustParseSet("63.174.16.0/20")
+	if !got.Equal(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if !a.Intersect(EmptySet()).IsEmpty() {
+		t.Error("intersect with empty should be empty")
+	}
+}
+
+func TestSetUnionSubtractRoundTrip(t *testing.T) {
+	a := MustParseSet("63.160.0.0/12")
+	b := MustParseSet("64.86.0.0/16")
+	u := a.Union(b)
+	if !u.Subtract(b).Equal(a) {
+		t.Errorf("(a∪b)\\b = %v, want %v", u.Subtract(b), a)
+	}
+	if !u.Subtract(a).Equal(b) {
+		t.Errorf("(a∪b)\\a = %v, want %v", u.Subtract(a), b)
+	}
+}
+
+func randomSet(rng *rand.Rand, n int) Set {
+	rs := make([]Range, n)
+	for i := range rs {
+		a, b := rng.Uint32()>>8, rng.Uint32()>>8
+		if a > b {
+			a, b = b, a
+		}
+		rs[i] = MustRangeFrom(AddrFromUint32(a), AddrFromUint32(b))
+	}
+	return NewSet(rs...)
+}
+
+func TestSetAlgebraPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		a := randomSet(rng, 1+rng.Intn(5))
+		b := randomSet(rng, 1+rng.Intn(5))
+		u := a.Union(b)
+		inter := a.Intersect(b)
+		// a ⊆ a∪b and a∩b ⊆ a.
+		if !u.Covers(a) || !u.Covers(b) {
+			t.Fatalf("union must cover operands: a=%v b=%v u=%v", a, b, u)
+		}
+		if !a.Covers(inter) || !b.Covers(inter) {
+			t.Fatalf("operands must cover intersection")
+		}
+		// (a\b) ∪ (a∩b) == a.
+		if !a.Subtract(b).Union(inter).Equal(a) {
+			t.Fatalf("partition identity failed: a=%v b=%v", a, b)
+		}
+		// (a\b) ∩ b == ∅.
+		if !a.Subtract(b).Intersect(b).IsEmpty() {
+			t.Fatalf("difference must not intersect subtrahend")
+		}
+		// Size is additive: |a| = |a\b| + |a∩b|.
+		if got, want := a.Subtract(b).Size()+inter.Size(), a.Size(); got != want {
+			t.Fatalf("size identity failed: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSetPrefixesRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSet(rng, 1+rng.Intn(6))
+		return SetOfPrefixes(s.Prefixes()...).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetContainsAddr(t *testing.T) {
+	s := MustParseSet("10.0.0.0/24, 10.0.2.0/24")
+	if !s.ContainsAddr(MustParseAddr("10.0.0.77")) {
+		t.Error("should contain 10.0.0.77")
+	}
+	if s.ContainsAddr(MustParseAddr("10.0.1.0")) {
+		t.Error("should not contain 10.0.1.0")
+	}
+	if s.ContainsAddr(MustParseAddr("2001:db8::1")) {
+		t.Error("should not contain IPv6 addr")
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	if _, err := ParseSet("10.0.0.0/33"); err == nil {
+		t.Error("want error for bad prefix")
+	}
+	if _, err := ParseSet("10.0.0.9-10.0.0.1"); err == nil {
+		t.Error("want error for inverted range")
+	}
+	s, err := ParseSet("")
+	if err != nil || !s.IsEmpty() {
+		t.Error("empty string should parse to empty set")
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	if _, err := RangeFrom(MustParseAddr("10.0.0.1"), MustParseAddr("2001:db8::1")); err == nil {
+		t.Error("mixed-family range should fail")
+	}
+	r := MustParseRange("10.0.0.0/24")
+	if r.Lo().String() != "10.0.0.0" || r.Hi().String() != "10.0.0.255" {
+		t.Errorf("CIDR range parse: %v", r)
+	}
+	single := MustParseRange("10.0.0.1")
+	if single.Lo() != single.Hi() {
+		t.Error("singleton range wrong")
+	}
+	if r.Size() != 256 {
+		t.Errorf("size = %v", r.Size())
+	}
+	a := MustParseRange("10.0.0.0-10.0.0.9")
+	b := MustParseRange("10.0.0.10-10.0.0.20")
+	if !a.Adjacent(b) || b.Adjacent(a) {
+		t.Error("adjacency wrong")
+	}
+}
+
+func TestSetIntersectDistributesOverUnion(t *testing.T) {
+	// a ∩ (b ∪ c) == (a∩b) ∪ (a∩c)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a := randomSet(rng, 1+rng.Intn(4))
+		b := randomSet(rng, 1+rng.Intn(4))
+		c := randomSet(rng, 1+rng.Intn(4))
+		left := a.Intersect(b.Union(c))
+		right := a.Intersect(b).Union(a.Intersect(c))
+		if !left.Equal(right) {
+			t.Fatalf("distributivity failed:\na=%v\nb=%v\nc=%v", a, b, c)
+		}
+	}
+}
+
+func TestSetMinimalPrefixCover(t *testing.T) {
+	// The prefix cover must be minimal: no two adjacent output prefixes of
+	// equal length may be mergeable into their parent.
+	f := func(a, b uint32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		r := MustRangeFrom(AddrFromUint32(a), AddrFromUint32(b))
+		ps := r.Prefixes()
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1].Bits() != ps[i].Bits() {
+				continue
+			}
+			p1, _ := ps[i-1].Parent()
+			p2, _ := ps[i].Parent()
+			if p1 == p2 {
+				return false // mergeable siblings: cover not minimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetStringEmpty(t *testing.T) {
+	if EmptySet().String() != "∅" {
+		t.Errorf("empty set string = %q", EmptySet().String())
+	}
+	if NewASNSet().String() != "∅" {
+		t.Errorf("empty ASN set string = %q", NewASNSet().String())
+	}
+}

@@ -1,0 +1,205 @@
+// Package manifest implements RPKI manifests (RFC 6486): per-publication-
+// point listings of every object the CA currently publishes, with SHA-256
+// hashes, so a relying party can detect withheld, corrupted, or stale
+// objects.
+//
+// Manifests are the RPKI's only defense against an attacker (or a fault)
+// that silently deletes objects from a repository. The paper's Side Effect 2
+// — stealthy revocation by deletion — works precisely when the deleting
+// party is the repository operator itself, who can reissue the manifest to
+// match; manifests protect against third-party tampering, not against the
+// publishing authority.
+package manifest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/asn1"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/cms"
+)
+
+// Entry is one manifest file entry.
+type Entry struct {
+	// Name is the file name within the publication point (no path).
+	Name string
+	// Hash is the SHA-256 hash of the file content.
+	Hash [32]byte
+}
+
+// Manifest is the decoded content of an RPKI manifest.
+type Manifest struct {
+	// Number is the manifest number, monotonically increasing per CA.
+	Number *big.Int
+	// ThisUpdate and NextUpdate bound the manifest's freshness window.
+	ThisUpdate, NextUpdate time.Time
+	// Entries lists every published object, sorted by name.
+	Entries []Entry
+}
+
+// New builds a manifest over the given file contents (name → bytes).
+func New(number int64, thisUpdate, nextUpdate time.Time, files map[string][]byte) *Manifest {
+	m := &Manifest{
+		Number:     big.NewInt(number),
+		ThisUpdate: thisUpdate,
+		NextUpdate: nextUpdate,
+	}
+	for name, content := range files {
+		m.Entries = append(m.Entries, Entry{Name: name, Hash: sha256.Sum256(content)})
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Name < m.Entries[j].Name })
+	return m
+}
+
+// Lookup returns the entry for name, if present.
+func (m *Manifest) Lookup(name string) (Entry, bool) {
+	i := sort.Search(len(m.Entries), func(i int) bool { return m.Entries[i].Name >= name })
+	if i < len(m.Entries) && m.Entries[i].Name == name {
+		return m.Entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Verify checks content against the manifest entry for name. It returns an
+// error if the entry is absent or the hash differs.
+func (m *Manifest) Verify(name string, content []byte) error {
+	e, ok := m.Lookup(name)
+	if !ok {
+		return fmt.Errorf("manifest: %q not listed", name)
+	}
+	h := sha256.Sum256(content)
+	if h != e.Hash {
+		return fmt.Errorf("manifest: %q hash mismatch", name)
+	}
+	return nil
+}
+
+// Stale reports whether the manifest's nextUpdate has passed.
+func (m *Manifest) Stale(now time.Time) bool { return now.After(m.NextUpdate) }
+
+// Names returns the listed file names in order.
+func (m *Manifest) Names() []string {
+	out := make([]string, len(m.Entries))
+	for i, e := range m.Entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ASN.1 structures per RFC 6486 (fileHashAlg pinned to SHA-256).
+type fileAndHash struct {
+	File string `asn1:"ia5"`
+	Hash asn1.BitString
+}
+
+type manifestSeq struct {
+	ManifestNumber *big.Int
+	ThisUpdate     time.Time `asn1:"generalized"`
+	NextUpdate     time.Time `asn1:"generalized"`
+	FileHashAlg    asn1.ObjectIdentifier
+	FileList       []fileAndHash
+}
+
+var oidSHA256 = asn1.ObjectIdentifier{2, 16, 840, 1, 101, 3, 4, 2, 1}
+
+// MarshalContent DER-encodes the manifest eContent.
+func (m *Manifest) MarshalContent() ([]byte, error) {
+	seq := manifestSeq{
+		ManifestNumber: m.Number,
+		ThisUpdate:     m.ThisUpdate.UTC().Truncate(time.Second),
+		NextUpdate:     m.NextUpdate.UTC().Truncate(time.Second),
+		FileHashAlg:    oidSHA256,
+	}
+	for _, e := range m.Entries {
+		seq.FileList = append(seq.FileList, fileAndHash{
+			File: e.Name,
+			Hash: asn1.BitString{Bytes: append([]byte(nil), e.Hash[:]...), BitLength: 256},
+		})
+	}
+	return asn1.Marshal(seq)
+}
+
+// UnmarshalContent decodes a manifest eContent.
+func UnmarshalContent(der []byte) (*Manifest, error) {
+	var seq manifestSeq
+	rest, err := asn1.Unmarshal(der, &seq)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: bad eContent: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("manifest: trailing bytes in eContent")
+	}
+	if !seq.FileHashAlg.Equal(oidSHA256) {
+		return nil, fmt.Errorf("manifest: unsupported hash algorithm %v", seq.FileHashAlg)
+	}
+	m := &Manifest{
+		Number:     seq.ManifestNumber,
+		ThisUpdate: seq.ThisUpdate,
+		NextUpdate: seq.NextUpdate,
+	}
+	for _, f := range seq.FileList {
+		if f.Hash.BitLength != 256 {
+			return nil, fmt.Errorf("manifest: %q hash is %d bits, want 256", f.File, f.Hash.BitLength)
+		}
+		var e Entry
+		e.Name = f.File
+		copy(e.Hash[:], f.Hash.Bytes)
+		m.Entries = append(m.Entries, e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Name < m.Entries[j].Name })
+	return m, nil
+}
+
+// Sign wraps the manifest in a CMS envelope signed by the EE key.
+func (m *Manifest) Sign(ee *cert.ResourceCert, eeKey *cert.KeyPair) ([]byte, error) {
+	content, err := m.MarshalContent()
+	if err != nil {
+		return nil, err
+	}
+	return cms.Sign(cms.OIDContentTypeManifest, content, ee, eeKey)
+}
+
+// Signed is a parsed, signature-verified manifest with its EE certificate.
+type Signed struct {
+	Manifest *Manifest
+	EE       *cert.ResourceCert
+	Raw      []byte
+}
+
+// ParseSigned decodes and signature-verifies a CMS-wrapped manifest.
+func ParseSigned(der []byte) (*Signed, error) {
+	obj, err := cms.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	if !obj.ContentType.Equal(cms.OIDContentTypeManifest) {
+		return nil, fmt.Errorf("manifest: content type %v is not a manifest", obj.ContentType)
+	}
+	m, err := UnmarshalContent(obj.Content)
+	if err != nil {
+		return nil, err
+	}
+	return &Signed{Manifest: m, EE: obj.EE, Raw: der}, nil
+}
+
+// Equal reports whether two manifests list identical content (number,
+// window, and entries).
+func (m *Manifest) Equal(o *Manifest) bool {
+	if m.Number.Cmp(o.Number) != 0 || !m.ThisUpdate.Equal(o.ThisUpdate) || !m.NextUpdate.Equal(o.NextUpdate) {
+		return false
+	}
+	if len(m.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range m.Entries {
+		if m.Entries[i].Name != o.Entries[i].Name || !bytes.Equal(m.Entries[i].Hash[:], o.Entries[i].Hash[:]) {
+			return false
+		}
+	}
+	return true
+}

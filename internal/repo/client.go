@@ -1,0 +1,300 @@
+package repo
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client fetches publication-point contents over the rsynclite protocol.
+// The zero Client uses sane defaults.
+type Client struct {
+	// Timeout bounds a whole fetch operation (default 10s).
+	Timeout time.Duration
+	// Dial overrides the dialer; used by the circular-dependency
+	// experiments to make reachability depend on BGP route validity.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+func (c *Client) timeout() time.Duration {
+	if c == nil || c.Timeout == 0 {
+		return 10 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Client) dial(ctx context.Context, addr string) (net.Conn, error) {
+	if c != nil && c.Dial != nil {
+		return c.Dial(ctx, "tcp", addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// List returns the object names and sizes available in the module.
+func (c *Client) List(ctx context.Context, uri URI) (map[string]int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dial(ctx, uri.Host)
+	if err != nil {
+		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	r := bufio.NewReader(conn)
+	if err := writeLine(conn, "LIST %s", uri.Module); err != nil {
+		return nil, fmt.Errorf("repo: sending LIST: %w", err)
+	}
+	header, err := readLine(r)
+	if err != nil {
+		return nil, fmt.Errorf("repo: reading LIST response: %w", err)
+	}
+	n, err := parseOKCount(header, MaxListEntries)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("repo: reading LIST entry: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("repo: malformed LIST entry %q", line)
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil || size < 0 || size > MaxObjectSize {
+			return nil, fmt.Errorf("repo: bad size in LIST entry %q", line)
+		}
+		out[fields[0]] = size
+	}
+	return out, nil
+}
+
+// Get fetches one object from the module.
+func (c *Client) Get(ctx context.Context, uri URI, name string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dial(ctx, uri.Host)
+	if err != nil {
+		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	return getOne(conn, uri.Module, name)
+}
+
+func getOne(conn net.Conn, module, name string) ([]byte, error) {
+	r := bufio.NewReader(conn)
+	if err := writeLine(conn, "GET %s %s", module, name); err != nil {
+		return nil, fmt.Errorf("repo: sending GET: %w", err)
+	}
+	header, err := readLine(r)
+	if err != nil {
+		return nil, fmt.Errorf("repo: reading GET response: %w", err)
+	}
+	size, err := parseOKCount(header, MaxObjectSize)
+	if err != nil {
+		return nil, err
+	}
+	content := make([]byte, size)
+	if _, err := io.ReadFull(r, content); err != nil {
+		return nil, fmt.Errorf("repo: reading object body: %w", err)
+	}
+	return content, nil
+}
+
+// FetchAll lists the module and downloads every object over a single
+// connection, returning name → content. Objects that fail mid-fetch are
+// reported via the error; partial results are returned so a relying party
+// can reason about incomplete information (Side Effect 6).
+func (c *Client) FetchAll(ctx context.Context, uri URI) (map[string][]byte, error) {
+	names, err := c.List(ctx, uri)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dial(ctx, uri.Host)
+	if err != nil {
+		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	r := bufio.NewReader(conn)
+
+	out := make(map[string][]byte, len(names))
+	var firstErr error
+	for name := range names {
+		if err := writeLine(conn, "GET %s %s", uri.Module, name); err != nil {
+			return out, fmt.Errorf("repo: sending GET: %w", err)
+		}
+		header, err := readLine(r)
+		if err != nil {
+			return out, fmt.Errorf("repo: reading GET response: %w", err)
+		}
+		size, err := parseOKCount(header, MaxObjectSize)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("repo: object %q: %w", name, err)
+			}
+			continue
+		}
+		content := make([]byte, size)
+		if _, err := io.ReadFull(r, content); err != nil {
+			return out, fmt.Errorf("repo: reading %q body: %w", name, err)
+		}
+		out[name] = content
+	}
+	return out, firstErr
+}
+
+// ObjectInfo is a STAT result.
+type ObjectInfo struct {
+	// Size is the object's size in bytes.
+	Size int
+	// Hash is the SHA-256 of the content as served (faults included).
+	Hash [32]byte
+}
+
+// Stat fetches an object's size and hash without its content.
+func (c *Client) Stat(ctx context.Context, uri URI, name string) (ObjectInfo, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dial(ctx, uri.Host)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	r := bufio.NewReader(conn)
+	if err := writeLine(conn, "STAT %s %s", uri.Module, name); err != nil {
+		return ObjectInfo{}, fmt.Errorf("repo: sending STAT: %w", err)
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("repo: reading STAT response: %w", err)
+	}
+	return parseStatLine(line)
+}
+
+func parseStatLine(line string) (ObjectInfo, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "OK" {
+		if len(fields) > 0 && fields[0] == "ERR" {
+			return ObjectInfo{}, fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR "))
+		}
+		return ObjectInfo{}, fmt.Errorf("repo: malformed STAT response %q", line)
+	}
+	size, err := strconv.Atoi(fields[1])
+	if err != nil || size < 0 || size > MaxObjectSize {
+		return ObjectInfo{}, fmt.Errorf("repo: bad size in %q", line)
+	}
+	hash, err := hex.DecodeString(fields[2])
+	if err != nil || len(hash) != 32 {
+		return ObjectInfo{}, fmt.Errorf("repo: bad hash in %q", line)
+	}
+	info := ObjectInfo{Size: size}
+	copy(info.Hash[:], hash)
+	return info, nil
+}
+
+// SyncResult reports what an incremental sync did.
+type SyncResult struct {
+	// Files is the complete, post-sync content map.
+	Files map[string][]byte
+	// Downloaded counts objects actually transferred.
+	Downloaded int
+	// Reused counts objects kept from the previous snapshot.
+	Reused int
+	// Removed counts objects that disappeared from the module.
+	Removed int
+}
+
+// SyncIncremental brings prev (a previous FetchAll/SyncIncremental result;
+// may be nil) up to date, transferring only objects whose STAT hash differs
+// — the rsync-style delta mode. It returns the new complete snapshot.
+func (c *Client) SyncIncremental(ctx context.Context, uri URI, prev map[string][]byte) (*SyncResult, error) {
+	names, err := c.List(ctx, uri)
+	if err != nil {
+		return nil, err
+	}
+	res := &SyncResult{Files: make(map[string][]byte, len(names))}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.dial(ctx, uri.Host)
+	if err != nil {
+		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	r := bufio.NewReader(conn)
+
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		old, have := prev[name]
+		if have && len(old) == names[name] {
+			// Sizes match: confirm with STAT before skipping the download.
+			if err := writeLine(conn, "STAT %s %s", uri.Module, name); err != nil {
+				return nil, fmt.Errorf("repo: sending STAT: %w", err)
+			}
+			line, err := readLine(r)
+			if err != nil {
+				return nil, fmt.Errorf("repo: reading STAT response: %w", err)
+			}
+			info, err := parseStatLine(line)
+			if err == nil && info.Hash == sha256.Sum256(old) {
+				res.Files[name] = old
+				res.Reused++
+				continue
+			}
+		}
+		// Download (new, resized, or hash-changed object).
+		if err := writeLine(conn, "GET %s %s", uri.Module, name); err != nil {
+			return nil, fmt.Errorf("repo: sending GET: %w", err)
+		}
+		line, err := readLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("repo: reading GET response: %w", err)
+		}
+		size, err := parseOKCount(line, MaxObjectSize)
+		if err != nil {
+			continue // vanished between LIST and GET; treat as absent
+		}
+		content := make([]byte, size)
+		if _, err := io.ReadFull(r, content); err != nil {
+			return nil, fmt.Errorf("repo: reading %q body: %w", name, err)
+		}
+		res.Files[name] = content
+		res.Downloaded++
+	}
+	for name := range prev {
+		if _, still := res.Files[name]; !still {
+			res.Removed++
+		}
+	}
+	return res, nil
+}

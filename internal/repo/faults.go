@@ -1,0 +1,124 @@
+package repo
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults injects delivery failures into a served publication point. The
+// paper (Section 4, Side Effect 6) lists the ways "information can be
+// missing": delayed renewal, filesystem or server corruption, withheld
+// objects. Each has a switch here. The zero Faults injects nothing.
+//
+// Faults model *transport-level* failures as seen by the relying party;
+// the authority's own misbehavior (deleting, shrinking, overwriting) is
+// modeled by mutating the Store itself via the ca package.
+type Faults struct {
+	mu sync.RWMutex
+	// drop hides named objects from both LIST and GET.
+	drop map[string]bool
+	// corrupt serves named objects with flipped bits.
+	corrupt map[string]bool
+	// refuse rejects all connections to the module.
+	refuse bool
+	// delay postpones every response.
+	delay time.Duration
+}
+
+// NewFaults returns a fault plan injecting nothing.
+func NewFaults() *Faults {
+	return &Faults{drop: make(map[string]bool), corrupt: make(map[string]bool)}
+}
+
+// Drop hides name from the served module until Restore is called.
+func (f *Faults) Drop(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drop[name] = true
+}
+
+// Corrupt serves name with its content corrupted.
+func (f *Faults) Corrupt(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corrupt[name] = true
+}
+
+// Refuse makes the module reject all connections (server unreachable).
+func (f *Faults) Refuse(refuse bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.refuse = refuse
+}
+
+// SetDelay postpones every response by d.
+func (f *Faults) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Restore clears all per-object faults for name (or every object when name
+// is ""). It models the transient fault being fixed — the crux of Side
+// Effect 7 is that recovery of the repository does not imply recovery of
+// the relying party.
+func (f *Faults) Restore(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if name == "" {
+		f.drop = make(map[string]bool)
+		f.corrupt = make(map[string]bool)
+		f.refuse = false
+		f.delay = 0
+		return
+	}
+	delete(f.drop, name)
+	delete(f.corrupt, name)
+}
+
+func (f *Faults) dropped(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.drop[name]
+}
+
+func (f *Faults) corrupted(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.corrupt[name]
+}
+
+func (f *Faults) refusing() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.refuse
+}
+
+func (f *Faults) currentDelay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.delay
+}
+
+// corruptBytes deterministically flips bits so corruption is reproducible.
+func corruptBytes(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	for i := range out {
+		if i%17 == 3 {
+			out[i] ^= 0xA5
+		}
+	}
+	return out
+}

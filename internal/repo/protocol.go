@@ -1,0 +1,124 @@
+package repo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The rsynclite wire protocol. All requests and response headers are single
+// CRLF-free LF-terminated lines of printable ASCII; file contents are raw
+// bytes with a declared length. This stands in for the rsync protocol the
+// RPKI mandates (RFC 6481 section 2.2): the paper's results depend only on
+// which objects a relying party can retrieve over TCP/IP, not on rsync's
+// delta encoding.
+//
+//	Request:  LIST <module>
+//	Response: OK <n>            then n lines: <name> <size>
+//
+//	Request:  GET <module> <name>
+//	Response: OK <size>         then <size> raw bytes
+//
+//	Request:  STAT <module> <name>
+//	Response: OK <size> <sha256-hex>
+//
+//	Any error: ERR <message>
+//
+// STAT lets a client skip re-downloading unchanged objects — the delta
+// behavior that makes rsync rsync.
+const (
+	maxLineLen = 4096
+	// MaxObjectSize bounds a single fetched object (defense against a
+	// malicious repository streaming forever).
+	MaxObjectSize = 8 << 20
+	// MaxListEntries bounds a module listing.
+	MaxListEntries = 1 << 20
+)
+
+// URI identifies a module on an rsynclite server, e.g.
+// "rsynclite://127.0.0.1:8873/sprint".
+type URI struct {
+	// Host is the "host:port" address of the server.
+	Host string
+	// Module is the publication point name.
+	Module string
+}
+
+// ParseURI parses "rsynclite://host:port/module[/object]". The optional
+// trailing object name is returned separately.
+func ParseURI(s string) (URI, string, error) {
+	const scheme = "rsynclite://"
+	if !strings.HasPrefix(s, scheme) {
+		return URI{}, "", fmt.Errorf("repo: URI %q lacks %s scheme", s, scheme)
+	}
+	rest := strings.TrimSuffix(s[len(scheme):], "/")
+	parts := strings.SplitN(rest, "/", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return URI{}, "", fmt.Errorf("repo: URI %q needs host/module", s)
+	}
+	uri := URI{Host: parts[0], Module: parts[1]}
+	if len(parts) == 3 {
+		return uri, parts[2], nil
+	}
+	return uri, "", nil
+}
+
+// String renders the URI.
+func (u URI) String() string {
+	return "rsynclite://" + u.Host + "/" + u.Module
+}
+
+// ObjectURI renders the URI of an object within the module.
+func (u URI) ObjectURI(name string) string {
+	return u.String() + "/" + name
+}
+
+// readLine reads one LF-terminated line, enforcing the length cap.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("repo: protocol line too long (%d bytes)", len(line))
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+// writeLine writes one LF-terminated line.
+func writeLine(w io.Writer, format string, args ...any) error {
+	_, err := fmt.Fprintf(w, format+"\n", args...)
+	return err
+}
+
+// parseOKCount parses an "OK <n>" header with a bound.
+func parseOKCount(line string, bound int) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "OK" {
+		if len(fields) > 0 && fields[0] == "ERR" {
+			return 0, fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR "))
+		}
+		return 0, fmt.Errorf("repo: malformed response %q", line)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > bound {
+		return 0, fmt.Errorf("repo: count %q out of range", fields[1])
+	}
+	return n, nil
+}
+
+// validName rejects names that could escape the module namespace or break
+// the line protocol.
+func validName(name string) bool {
+	if name == "" || len(name) > 512 {
+		return false
+	}
+	for _, r := range name {
+		if r <= ' ' || r == 0x7F || r == '/' || r == '\\' {
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}

@@ -1,0 +1,297 @@
+package repo
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Module couples a publication point's store with its fault plan.
+type Module struct {
+	Store  *Store
+	Faults *Faults
+}
+
+// Server serves one or more publication points over the rsynclite protocol.
+// A single server hosting many modules models a hosted publication service;
+// a server with one module models an authority self-hosting its repository
+// (the configuration that creates the paper's Side Effect 7 circularity).
+type Server struct {
+	mu      sync.RWMutex
+	modules map[string]*Module
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  chan struct{}
+}
+
+// NewServer returns a server with no modules.
+func NewServer() *Server {
+	return &Server{
+		modules: make(map[string]*Module),
+		closed:  make(chan struct{}),
+	}
+}
+
+// AddModule registers (or replaces) a module. A nil Faults means no
+// injected faults.
+func (s *Server) AddModule(name string, store *Store, faults *Faults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modules[name] = &Module{Store: store, Faults: faults}
+}
+
+// Module returns a registered module.
+func (s *Server) Module(name string) (*Module, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.modules[name]
+	return m, ok
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("repo: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			_ = writeLine(w, "ERR empty request")
+			return
+		}
+		switch fields[0] {
+		case "LIST":
+			if len(fields) != 2 {
+				_ = writeLine(w, "ERR LIST wants 1 argument")
+				return
+			}
+			if !s.serveList(w, fields[1]) {
+				return
+			}
+		case "GET":
+			if len(fields) != 3 {
+				_ = writeLine(w, "ERR GET wants 2 arguments")
+				return
+			}
+			if !s.serveGet(w, fields[1], fields[2]) {
+				return
+			}
+		case "STAT":
+			if len(fields) != 3 {
+				_ = writeLine(w, "ERR STAT wants 2 arguments")
+				return
+			}
+			if !s.serveStat(w, fields[1], fields[2]) {
+				return
+			}
+		case "QUIT":
+			return
+		default:
+			_ = writeLine(w, "ERR unknown command %q", fields[0])
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// moduleFor resolves a module, applying connection-level faults. ok=false
+// means the connection should be dropped as if the server were unreachable.
+func (s *Server) moduleFor(name string) (*Module, bool, error) {
+	m, found := s.Module(name)
+	if !found {
+		return nil, true, fmt.Errorf("no such module %q", name)
+	}
+	if m.Faults.refusing() {
+		return nil, false, nil
+	}
+	if d := m.Faults.currentDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	return m, true, nil
+}
+
+func (s *Server) serveList(w *bufio.Writer, module string) bool {
+	m, keep, err := s.moduleFor(module)
+	if !keep {
+		return false
+	}
+	if err != nil {
+		_ = writeLine(w, "ERR %v", err)
+		return true
+	}
+	snapshot := m.Store.Snapshot()
+	names := make([]string, 0, len(snapshot))
+	for name := range snapshot {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type entry struct {
+		name string
+		size int
+	}
+	var entries []entry
+	for _, name := range names {
+		if m.Faults.dropped(name) {
+			continue
+		}
+		entries = append(entries, entry{name, len(snapshot[name])})
+	}
+	if err := writeLine(w, "OK %d", len(entries)); err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if err := writeLine(w, "%s %d", e.name, e.size); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) serveGet(w *bufio.Writer, module, name string) bool {
+	m, keep, err := s.moduleFor(module)
+	if !keep {
+		return false
+	}
+	if err != nil {
+		_ = writeLine(w, "ERR %v", err)
+		return true
+	}
+	if !validName(name) {
+		_ = writeLine(w, "ERR invalid object name")
+		return true
+	}
+	content, ok := m.Store.Get(name)
+	if !ok || m.Faults.dropped(name) {
+		_ = writeLine(w, "ERR no such object %q", name)
+		return true
+	}
+	if m.Faults.corrupted(name) {
+		content = corruptBytes(content)
+	}
+	if err := writeLine(w, "OK %d", len(content)); err != nil {
+		return false
+	}
+	if _, err := w.Write(content); err != nil {
+		return false
+	}
+	return true
+}
+
+// serveStat answers a STAT query with the object's size and SHA-256 hash,
+// after applying the same fault plan as GET (a corrupted object reports the
+// corrupted hash — the client must not be able to detect faults for free).
+func (s *Server) serveStat(w *bufio.Writer, module, name string) bool {
+	m, keep, err := s.moduleFor(module)
+	if !keep {
+		return false
+	}
+	if err != nil {
+		_ = writeLine(w, "ERR %v", err)
+		return true
+	}
+	if !validName(name) {
+		_ = writeLine(w, "ERR invalid object name")
+		return true
+	}
+	content, ok := m.Store.Get(name)
+	if !ok || m.Faults.dropped(name) {
+		_ = writeLine(w, "ERR no such object %q", name)
+		return true
+	}
+	if m.Faults.corrupted(name) {
+		content = corruptBytes(content)
+	}
+	sum := sha256.Sum256(content)
+	return writeLine(w, "OK %d %s", len(content), hex.EncodeToString(sum[:])) == nil
+}
+
+// Serve is a convenience for tests: start a server for a single module on
+// an ephemeral port and return its URI and a shutdown func.
+func Serve(ctx context.Context, module string, store *Store, faults *Faults) (URI, func(), error) {
+	srv := NewServer()
+	srv.AddModule(module, store, faults)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return URI{}, nil, err
+	}
+	stop := func() { _ = srv.Close() }
+	if ctx != nil {
+		go func() {
+			<-ctx.Done()
+			stop()
+		}()
+	}
+	return URI{Host: addr, Module: module}, stop, nil
+}

@@ -1,0 +1,119 @@
+// Package repo implements RPKI publication points: in-memory object stores
+// controlled by their issuing authority, a TCP server and client speaking a
+// minimal rsync-like synchronization protocol ("rsynclite"), and fault
+// injection for modeling the delivery failures at the heart of the paper's
+// Side Effects 6 and 7.
+//
+// Two design decisions of the real RPKI are preserved faithfully because the
+// paper's attacks depend on them: (1) objects are stored at directories
+// controlled by their *issuer*, not their subject, so an issuer can delete
+// or overwrite any object it published ("stealthy revocation"); and (2)
+// delivery runs over TCP/IP, whose availability can itself depend on the
+// routes the RPKI validates (the circular dependency of Side Effect 7).
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is one publication point's object store: a flat namespace of files.
+// It is safe for concurrent use. The publishing authority may overwrite or
+// delete any object at any time — persistently named, mutable objects are an
+// RPKI design decision (key rollover support) that enables stealthy
+// revocation.
+type Store struct {
+	mu      sync.RWMutex
+	files   map[string][]byte
+	version uint64
+}
+
+// NewStore returns an empty publication point.
+func NewStore() *Store {
+	return &Store{files: make(map[string][]byte)}
+}
+
+// Put publishes (or overwrites) an object.
+func (s *Store) Put(name string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = append([]byte(nil), content...)
+	s.version++
+}
+
+// Delete removes an object. Deleting a never-published name is a no-op.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; ok {
+		delete(s.files, name)
+		s.version++
+	}
+}
+
+// Get returns the content of an object.
+func (s *Store) Get(name string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	content, ok := s.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), content...), true
+}
+
+// List returns the sorted names of all published objects.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of published objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// Version returns a counter incremented on every mutation, for cheap
+// change detection by monitors.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Snapshot returns a deep copy of the store contents, for diffing by
+// monitors and for atomic fetches.
+func (s *Store) Snapshot() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.files))
+	for name, content := range s.files {
+		out[name] = append([]byte(nil), content...)
+	}
+	return out
+}
+
+// Replace atomically replaces the entire contents of the store.
+func (s *Store) Replace(files map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = make(map[string][]byte, len(files))
+	for name, content := range files {
+		s.files[name] = append([]byte(nil), content...)
+	}
+	s.version++
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("store{%d objects, v%d}", s.Len(), s.Version())
+}

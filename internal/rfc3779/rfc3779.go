@@ -1,0 +1,448 @@
+// Package rfc3779 implements DER encoding and decoding of the X.509
+// extensions for IP address blocks and AS identifiers defined in RFC 3779,
+// as profiled for the RPKI by RFC 6487. These extensions are what bind an
+// authority's public key to its allocated Internet number resources, and are
+// therefore the machinery through which a misbehaving parent can shrink a
+// child's allocation (Side Effect 3 of the paper).
+//
+// The encoding follows the RFC's canonicalization rules: address blocks are
+// sorted and maximally merged; a block that is exactly one CIDR prefix is
+// encoded as an addressPrefix BIT STRING, anything else as an addressRange
+// with trailing zero bits stripped from min and trailing one bits stripped
+// from max.
+package rfc3779
+
+import (
+	"encoding/asn1"
+	"fmt"
+
+	"repro/internal/ipres"
+)
+
+// OIDs for the two RFC 3779 extensions.
+var (
+	// OIDIPAddrBlocks is id-pe-ipAddrBlocks (1.3.6.1.5.5.7.1.7).
+	OIDIPAddrBlocks = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 1, 7}
+	// OIDASIdentifiers is id-pe-autonomousSysIds (1.3.6.1.5.5.7.1.8).
+	OIDASIdentifiers = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 1, 8}
+)
+
+// IPChoice is the per-family IPAddressChoice: either "inherit" (the
+// certificate inherits this family's resources from its issuer) or an
+// explicit resource set.
+type IPChoice struct {
+	Inherit bool
+	Set     ipres.Set
+}
+
+// IPAddrBlocks is the decoded form of the IPAddrBlocks extension. A nil
+// family pointer means the family is absent from the extension.
+type IPAddrBlocks struct {
+	V4, V6 *IPChoice
+}
+
+// FromSet builds an IPAddrBlocks carrying the explicit resources in set,
+// including only the families that are non-empty.
+func FromSet(set ipres.Set) IPAddrBlocks {
+	var b IPAddrBlocks
+	if v4 := set.Family(ipres.IPv4); !v4.IsEmpty() {
+		b.V4 = &IPChoice{Set: v4}
+	}
+	if v6 := set.Family(ipres.IPv6); !v6.IsEmpty() {
+		b.V6 = &IPChoice{Set: v6}
+	}
+	return b
+}
+
+// Set returns the union of the explicit (non-inherit) resources.
+func (b IPAddrBlocks) Set() ipres.Set {
+	out := ipres.EmptySet()
+	if b.V4 != nil && !b.V4.Inherit {
+		out = out.Union(b.V4.Set)
+	}
+	if b.V6 != nil && !b.V6.Inherit {
+		out = out.Union(b.V6.Set)
+	}
+	return out
+}
+
+// HasInherit reports whether any present family uses inherit.
+func (b IPAddrBlocks) HasInherit() bool {
+	return (b.V4 != nil && b.V4.Inherit) || (b.V6 != nil && b.V6.Inherit)
+}
+
+type ipAddressFamilySeq struct {
+	AddressFamily []byte
+	Choice        asn1.RawValue
+}
+
+// MarshalIPAddrBlocks DER-encodes the extension value.
+func MarshalIPAddrBlocks(b IPAddrBlocks) ([]byte, error) {
+	var fams []ipAddressFamilySeq
+	encode := func(afi ipres.Family, c *IPChoice) error {
+		if c == nil {
+			return nil
+		}
+		choice, err := marshalIPChoice(afi, c)
+		if err != nil {
+			return err
+		}
+		fams = append(fams, ipAddressFamilySeq{
+			AddressFamily: []byte{0, byte(afi)},
+			Choice:        choice,
+		})
+		return nil
+	}
+	if err := encode(ipres.IPv4, b.V4); err != nil {
+		return nil, err
+	}
+	if err := encode(ipres.IPv6, b.V6); err != nil {
+		return nil, err
+	}
+	return asn1.Marshal(fams)
+}
+
+func marshalIPChoice(afi ipres.Family, c *IPChoice) (asn1.RawValue, error) {
+	if c.Inherit {
+		return asn1.RawValue{Class: asn1.ClassUniversal, Tag: asn1.TagNull}, nil
+	}
+	var items []asn1.RawValue
+	for _, r := range c.Set.Ranges() {
+		if r.Family() != afi {
+			return asn1.RawValue{}, fmt.Errorf("rfc3779: %v range %v in %v family", r.Family(), r, afi)
+		}
+		item, err := marshalAddressOrRange(r)
+		if err != nil {
+			return asn1.RawValue{}, err
+		}
+		items = append(items, item)
+	}
+	der, err := asn1.Marshal(items)
+	if err != nil {
+		return asn1.RawValue{}, err
+	}
+	return asn1.RawValue{FullBytes: der}, nil
+}
+
+func marshalAddressOrRange(r ipres.Range) (asn1.RawValue, error) {
+	if ps := r.Prefixes(); len(ps) == 1 {
+		bs := prefixToBitString(ps[0])
+		der, err := asn1.Marshal(bs)
+		if err != nil {
+			return asn1.RawValue{}, err
+		}
+		return asn1.RawValue{FullBytes: der}, nil
+	}
+	var seq struct {
+		Min, Max asn1.BitString
+	}
+	seq.Min = minToBitString(r.Lo())
+	seq.Max = maxToBitString(r.Hi())
+	der, err := asn1.Marshal(seq)
+	if err != nil {
+		return asn1.RawValue{}, err
+	}
+	return asn1.RawValue{FullBytes: der}, nil
+}
+
+// prefixToBitString encodes a CIDR prefix as an IPAddress BIT STRING of
+// exactly Bits() significant bits.
+func prefixToBitString(p ipres.Prefix) asn1.BitString {
+	return addrBits(p.Addr(), p.Bits())
+}
+
+// PrefixToBitString encodes a CIDR prefix as an RFC 3779 IPAddress BIT
+// STRING. It is shared with the ROA eContent encoding (RFC 6482), which
+// uses the same representation.
+func PrefixToBitString(p ipres.Prefix) asn1.BitString { return prefixToBitString(p) }
+
+// PrefixFromBitString decodes an RFC 3779 IPAddress BIT STRING into a
+// prefix of the given family.
+func PrefixFromBitString(afi ipres.Family, bs asn1.BitString) (ipres.Prefix, error) {
+	return bitStringToPrefix(afi, bs)
+}
+
+// minToBitString strips trailing zero bits from the range minimum.
+func minToBitString(a ipres.Addr) asn1.BitString {
+	w := a.Family().Width()
+	bits := w - trailingZeroBits(a)
+	return addrBits(a, bits)
+}
+
+// maxToBitString strips trailing one bits from the range maximum.
+func maxToBitString(a ipres.Addr) asn1.BitString {
+	w := a.Family().Width()
+	bits := w - trailingOneBits(a)
+	return addrBits(a, bits)
+}
+
+func addrBits(a ipres.Addr, bits int) asn1.BitString {
+	full := a.Bytes()
+	n := (bits + 7) / 8
+	out := make([]byte, n)
+	copy(out, full[:n])
+	// Clear any bits below the significant count in the final byte.
+	if rem := bits % 8; rem != 0 && n > 0 {
+		out[n-1] &= 0xFF << (8 - rem)
+	}
+	return asn1.BitString{Bytes: out, BitLength: bits}
+}
+
+func trailingZeroBits(a ipres.Addr) int {
+	b := a.Bytes()
+	count := 0
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == 0 {
+			count += 8
+			continue
+		}
+		v := b[i]
+		for v&1 == 0 {
+			count++
+			v >>= 1
+		}
+		break
+	}
+	if count > len(b)*8 {
+		count = len(b) * 8
+	}
+	return count
+}
+
+func trailingOneBits(a ipres.Addr) int {
+	b := a.Bytes()
+	count := 0
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == 0xFF {
+			count += 8
+			continue
+		}
+		v := b[i]
+		for v&1 == 1 {
+			count++
+			v >>= 1
+		}
+		break
+	}
+	return count
+}
+
+// UnmarshalIPAddrBlocks decodes the DER extension value.
+func UnmarshalIPAddrBlocks(der []byte) (IPAddrBlocks, error) {
+	var fams []ipAddressFamilySeq
+	rest, err := asn1.Unmarshal(der, &fams)
+	if err != nil {
+		return IPAddrBlocks{}, fmt.Errorf("rfc3779: bad IPAddrBlocks: %w", err)
+	}
+	if len(rest) != 0 {
+		return IPAddrBlocks{}, fmt.Errorf("rfc3779: trailing bytes after IPAddrBlocks")
+	}
+	var out IPAddrBlocks
+	for _, f := range fams {
+		if len(f.AddressFamily) < 2 {
+			return IPAddrBlocks{}, fmt.Errorf("rfc3779: short addressFamily")
+		}
+		afi := ipres.Family(uint16(f.AddressFamily[0])<<8 | uint16(f.AddressFamily[1]))
+		if !afi.Valid() {
+			return IPAddrBlocks{}, fmt.Errorf("rfc3779: unsupported AFI %d", afi)
+		}
+		choice, err := unmarshalIPChoice(afi, f.Choice)
+		if err != nil {
+			return IPAddrBlocks{}, err
+		}
+		switch afi {
+		case ipres.IPv4:
+			if out.V4 != nil {
+				return IPAddrBlocks{}, fmt.Errorf("rfc3779: duplicate IPv4 family")
+			}
+			out.V4 = choice
+		case ipres.IPv6:
+			if out.V6 != nil {
+				return IPAddrBlocks{}, fmt.Errorf("rfc3779: duplicate IPv6 family")
+			}
+			out.V6 = choice
+		}
+	}
+	return out, nil
+}
+
+func unmarshalIPChoice(afi ipres.Family, raw asn1.RawValue) (*IPChoice, error) {
+	if raw.Class == asn1.ClassUniversal && raw.Tag == asn1.TagNull {
+		return &IPChoice{Inherit: true}, nil
+	}
+	var items []asn1.RawValue
+	rest, err := asn1.Unmarshal(raw.FullBytes, &items)
+	if err != nil {
+		return nil, fmt.Errorf("rfc3779: bad addressesOrRanges: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("rfc3779: trailing bytes in addressesOrRanges")
+	}
+	var ranges []ipres.Range
+	for _, item := range items {
+		r, err := unmarshalAddressOrRange(afi, item)
+		if err != nil {
+			return nil, err
+		}
+		ranges = append(ranges, r)
+	}
+	return &IPChoice{Set: ipres.NewSet(ranges...)}, nil
+}
+
+func unmarshalAddressOrRange(afi ipres.Family, raw asn1.RawValue) (ipres.Range, error) {
+	if raw.Class == asn1.ClassUniversal && raw.Tag == asn1.TagBitString {
+		var bs asn1.BitString
+		if _, err := asn1.Unmarshal(raw.FullBytes, &bs); err != nil {
+			return ipres.Range{}, fmt.Errorf("rfc3779: bad addressPrefix: %w", err)
+		}
+		p, err := bitStringToPrefix(afi, bs)
+		if err != nil {
+			return ipres.Range{}, err
+		}
+		return p.Range(), nil
+	}
+	var seq struct {
+		Min, Max asn1.BitString
+	}
+	if _, err := asn1.Unmarshal(raw.FullBytes, &seq); err != nil {
+		return ipres.Range{}, fmt.Errorf("rfc3779: bad addressRange: %w", err)
+	}
+	lo, err := bitStringToAddr(afi, seq.Min, false)
+	if err != nil {
+		return ipres.Range{}, err
+	}
+	hi, err := bitStringToAddr(afi, seq.Max, true)
+	if err != nil {
+		return ipres.Range{}, err
+	}
+	return ipres.RangeFrom(lo, hi)
+}
+
+func bitStringToPrefix(afi ipres.Family, bs asn1.BitString) (ipres.Prefix, error) {
+	a, err := bitStringToAddr(afi, bs, false)
+	if err != nil {
+		return ipres.Prefix{}, err
+	}
+	return ipres.PrefixFrom(a, bs.BitLength)
+}
+
+// bitStringToAddr expands a truncated IPAddress BIT STRING to a full
+// address, padding the unstated bits with zeros (fillOnes=false, for
+// prefixes and range minima) or ones (fillOnes=true, for range maxima).
+func bitStringToAddr(afi ipres.Family, bs asn1.BitString, fillOnes bool) (ipres.Addr, error) {
+	w := afi.Width()
+	if bs.BitLength < 0 || bs.BitLength > w {
+		return ipres.Addr{}, fmt.Errorf("rfc3779: bit length %d out of range for %v", bs.BitLength, afi)
+	}
+	full := make([]byte, w/8)
+	copy(full, bs.Bytes)
+	if fillOnes {
+		// Set every bit from position BitLength to the end.
+		for i := bs.BitLength; i < w; i++ {
+			full[i/8] |= 0x80 >> (i % 8)
+		}
+	}
+	if afi == ipres.IPv4 {
+		var b4 [4]byte
+		copy(b4[:], full)
+		return ipres.AddrFrom4(b4), nil
+	}
+	var b16 [16]byte
+	copy(b16[:], full)
+	return ipres.AddrFrom16(b16), nil
+}
+
+// ASChoice is the ASIdentifierChoice: inherit or an explicit ASN set.
+type ASChoice struct {
+	Inherit bool
+	Set     ipres.ASNSet
+}
+
+// MarshalASIdentifiers DER-encodes the ASIdentifiers extension value
+// (asnum choice only; the RPKI profile forbids rdi). The explicit [0] tag
+// around the choice is built by hand because encoding/asn1 does not apply
+// explicit tagging to RawValue fields.
+func MarshalASIdentifiers(c ASChoice) ([]byte, error) {
+	var inner []byte
+	var err error
+	if c.Inherit {
+		inner, err = asn1.Marshal(asn1.RawValue{Class: asn1.ClassUniversal, Tag: asn1.TagNull})
+	} else {
+		var items []asn1.RawValue
+		for _, r := range c.Set.Ranges() {
+			var der []byte
+			if r.Lo == r.Hi {
+				der, err = asn1.Marshal(int64(r.Lo))
+			} else {
+				der, err = asn1.Marshal(struct{ Min, Max int64 }{int64(r.Lo), int64(r.Hi)})
+			}
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, asn1.RawValue{FullBytes: der})
+		}
+		inner, err = asn1.Marshal(items)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tagged, err := asn1.Marshal(asn1.RawValue{
+		Class:      asn1.ClassContextSpecific,
+		Tag:        0,
+		IsCompound: true,
+		Bytes:      inner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return asn1.Marshal(struct{ ASNum asn1.RawValue }{asn1.RawValue{FullBytes: tagged}})
+}
+
+// UnmarshalASIdentifiers decodes the DER extension value.
+func UnmarshalASIdentifiers(der []byte) (ASChoice, error) {
+	var seq struct{ ASNum asn1.RawValue }
+	rest, err := asn1.Unmarshal(der, &seq)
+	if err != nil {
+		return ASChoice{}, fmt.Errorf("rfc3779: bad ASIdentifiers: %w", err)
+	}
+	if len(rest) != 0 {
+		return ASChoice{}, fmt.Errorf("rfc3779: trailing bytes after ASIdentifiers")
+	}
+	if seq.ASNum.Class != asn1.ClassContextSpecific || seq.ASNum.Tag != 0 {
+		return ASChoice{}, fmt.Errorf("rfc3779: missing asnum [0] tag")
+	}
+	var raw asn1.RawValue
+	if _, err := asn1.Unmarshal(seq.ASNum.Bytes, &raw); err != nil {
+		return ASChoice{}, fmt.Errorf("rfc3779: bad asnum choice: %w", err)
+	}
+	if raw.Class == asn1.ClassUniversal && raw.Tag == asn1.TagNull {
+		return ASChoice{Inherit: true}, nil
+	}
+	var items []asn1.RawValue
+	if _, err := asn1.Unmarshal(raw.FullBytes, &items); err != nil {
+		return ASChoice{}, fmt.Errorf("rfc3779: bad asIdsOrRanges: %w", err)
+	}
+	var ranges []ipres.ASNRange
+	for _, item := range items {
+		if item.Class == asn1.ClassUniversal && item.Tag == asn1.TagInteger {
+			var id int64
+			if _, err := asn1.Unmarshal(item.FullBytes, &id); err != nil {
+				return ASChoice{}, err
+			}
+			if id < 0 || id > int64(^uint32(0)) {
+				return ASChoice{}, fmt.Errorf("rfc3779: ASN %d out of range", id)
+			}
+			ranges = append(ranges, ipres.ASNRange{Lo: ipres.ASN(id), Hi: ipres.ASN(id)})
+			continue
+		}
+		var r struct{ Min, Max int64 }
+		if _, err := asn1.Unmarshal(item.FullBytes, &r); err != nil {
+			return ASChoice{}, fmt.Errorf("rfc3779: bad ASRange: %w", err)
+		}
+		if r.Min < 0 || r.Max > int64(^uint32(0)) || r.Min > r.Max {
+			return ASChoice{}, fmt.Errorf("rfc3779: ASRange [%d,%d] invalid", r.Min, r.Max)
+		}
+		ranges = append(ranges, ipres.ASNRange{Lo: ipres.ASN(r.Min), Hi: ipres.ASN(r.Max)})
+	}
+	return ASChoice{Set: ipres.NewASNSet(ranges...)}, nil
+}

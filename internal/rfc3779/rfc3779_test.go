@@ -1,0 +1,238 @@
+package rfc3779
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipres"
+)
+
+func roundTripIP(t *testing.T, b IPAddrBlocks) IPAddrBlocks {
+	t.Helper()
+	der, err := MarshalIPAddrBlocks(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalIPAddrBlocks(der)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return got
+}
+
+func TestIPAddrBlocksRoundTripPrefixes(t *testing.T) {
+	set := ipres.MustParseSet("63.160.0.0/12, 8.0.0.0/8, 2001:db8::/32")
+	got := roundTripIP(t, FromSet(set))
+	if !got.Set().Equal(set) {
+		t.Errorf("got %v, want %v", got.Set(), set)
+	}
+}
+
+func TestIPAddrBlocksRoundTripRanges(t *testing.T) {
+	// The Figure 3 RC: two ranges that are not single prefixes.
+	set := ipres.MustParseSet("63.174.16.0-63.174.23.255, 63.174.25.0-63.174.31.255")
+	got := roundTripIP(t, FromSet(set))
+	if !got.Set().Equal(set) {
+		t.Errorf("got %v, want %v", got.Set(), set)
+	}
+}
+
+func TestIPAddrBlocksInherit(t *testing.T) {
+	b := IPAddrBlocks{V4: &IPChoice{Inherit: true}, V6: &IPChoice{Set: ipres.MustParseSet("2001:db8::/32")}}
+	got := roundTripIP(t, b)
+	if got.V4 == nil || !got.V4.Inherit {
+		t.Error("IPv4 inherit lost")
+	}
+	if !got.HasInherit() {
+		t.Error("HasInherit should be true")
+	}
+	if got.V6 == nil || got.V6.Inherit || !got.V6.Set.Equal(ipres.MustParseSet("2001:db8::/32")) {
+		t.Error("IPv6 explicit set lost")
+	}
+}
+
+func TestIPAddrBlocksAbsentFamily(t *testing.T) {
+	b := FromSet(ipres.MustParseSet("10.0.0.0/8"))
+	if b.V6 != nil {
+		t.Fatal("V6 should be absent")
+	}
+	got := roundTripIP(t, b)
+	if got.V6 != nil {
+		t.Error("V6 should stay absent")
+	}
+}
+
+func TestIPAddrBlocksDeterministic(t *testing.T) {
+	set := ipres.MustParseSet("63.160.0.0/12, 63.174.25.0-63.174.31.255")
+	a, _ := MarshalIPAddrBlocks(FromSet(set))
+	b, _ := MarshalIPAddrBlocks(FromSet(set))
+	if !bytes.Equal(a, b) {
+		t.Error("encoding must be deterministic")
+	}
+}
+
+func TestIPAddrBlocksRejectGarbage(t *testing.T) {
+	if _, err := UnmarshalIPAddrBlocks([]byte{0xDE, 0xAD}); err == nil {
+		t.Error("want error for garbage")
+	}
+	set := ipres.MustParseSet("10.0.0.0/8")
+	der, _ := MarshalIPAddrBlocks(FromSet(set))
+	if _, err := UnmarshalIPAddrBlocks(append(der, 0x00)); err == nil {
+		t.Error("want error for trailing bytes")
+	}
+}
+
+func TestIPAddrBlocksQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ranges []ipres.Range
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			a, b := rng.Uint32(), rng.Uint32()
+			if a > b {
+				a, b = b, a
+			}
+			ranges = append(ranges, ipres.MustRangeFrom(ipres.AddrFromUint32(a), ipres.AddrFromUint32(b)))
+		}
+		set := ipres.NewSet(ranges...)
+		der, err := MarshalIPAddrBlocks(FromSet(set))
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalIPAddrBlocks(der)
+		return err == nil && got.Set().Equal(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPAddrBlocksQuickRoundTripV6(t *testing.T) {
+	f := func(hi1, lo1, hi2, lo2 uint64) bool {
+		var b1, b2 [16]byte
+		put := func(b *[16]byte, hi, lo uint64) {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(hi >> uint(56-8*i))
+				b[i+8] = byte(lo >> uint(56-8*i))
+			}
+		}
+		put(&b1, hi1, lo1)
+		put(&b2, hi2, lo2)
+		a1, a2 := ipres.AddrFrom16(b1), ipres.AddrFrom16(b2)
+		if a1.Cmp(a2) > 0 {
+			a1, a2 = a2, a1
+		}
+		set := ipres.NewSet(ipres.MustRangeFrom(a1, a2))
+		der, err := MarshalIPAddrBlocks(FromSet(set))
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalIPAddrBlocks(der)
+		return err == nil && got.Set().Equal(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASIdentifiersRoundTrip(t *testing.T) {
+	set := ipres.NewASNSet(
+		ipres.ASNRange{Lo: 1239, Hi: 1239},
+		ipres.ASNRange{Lo: 64496, Hi: 64511},
+	)
+	der, err := MarshalASIdentifiers(ASChoice{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalASIdentifiers(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inherit || !got.Set.Equal(set) {
+		t.Errorf("got %+v, want %v", got, set)
+	}
+}
+
+func TestASIdentifiersInherit(t *testing.T) {
+	der, err := MarshalASIdentifiers(ASChoice{Inherit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalASIdentifiers(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Inherit {
+		t.Error("inherit lost")
+	}
+}
+
+func TestASIdentifiersLargeASN(t *testing.T) {
+	set := ipres.ASNSetOf(4294967295) // 32-bit max
+	der, err := MarshalASIdentifiers(ASChoice{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalASIdentifiers(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Set.Equal(set) {
+		t.Errorf("got %v", got.Set)
+	}
+}
+
+func TestASIdentifiersQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		asns := make([]ipres.ASN, len(vals))
+		for i, v := range vals {
+			asns[i] = ipres.ASN(v)
+		}
+		set := ipres.ASNSetOf(asns...)
+		der, err := MarshalASIdentifiers(ASChoice{Set: set})
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalASIdentifiers(der)
+		return err == nil && got.Set.Equal(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASIdentifiersRejectGarbage(t *testing.T) {
+	if _, err := UnmarshalASIdentifiers([]byte{0x01, 0x02}); err == nil {
+		t.Error("want error for garbage")
+	}
+}
+
+func TestBitStringEncodingMatchesRFC(t *testing.T) {
+	// RFC 3779 example: prefix 10.0.0.0/8 encodes as a 1-byte BIT STRING
+	// with 8 significant bits; 10.5.48.0/20 as 3 bytes, 20 bits.
+	bs := prefixToBitString(ipres.MustParsePrefix("10.0.0.0/8"))
+	if bs.BitLength != 8 || len(bs.Bytes) != 1 || bs.Bytes[0] != 10 {
+		t.Errorf("got %+v", bs)
+	}
+	bs = prefixToBitString(ipres.MustParsePrefix("10.5.48.0/20"))
+	if bs.BitLength != 20 || len(bs.Bytes) != 3 || bs.Bytes[2] != 0x30 {
+		t.Errorf("got %+v", bs)
+	}
+	// Range min 10.5.0.0 strips trailing zeros → 16 bits; max 10.5.255.255
+	// strips *all* trailing ones — the run crosses the byte boundary into
+	// the low bit of 0x05, so 17 bits are stripped, leaving 15.
+	min := minToBitString(ipres.MustParseAddr("10.5.0.0"))
+	if min.BitLength != 16 {
+		t.Errorf("min bits = %d", min.BitLength)
+	}
+	max := maxToBitString(ipres.MustParseAddr("10.5.255.255"))
+	if max.BitLength != 15 {
+		t.Errorf("max bits = %d", max.BitLength)
+	}
+	// All-ones max strips to zero bits.
+	max = maxToBitString(ipres.MustParseAddr("255.255.255.255"))
+	if max.BitLength != 0 {
+		t.Errorf("all-ones max bits = %d", max.BitLength)
+	}
+}

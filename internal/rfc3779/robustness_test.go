@@ -1,0 +1,55 @@
+package rfc3779
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ipres"
+)
+
+// TestUnmarshalNeverPanicsOnMutation: the RFC 3779 decoders run on
+// attacker-controlled certificate extensions and must fail cleanly on any
+// input.
+func TestUnmarshalNeverPanicsOnMutation(t *testing.T) {
+	ipDER, err := MarshalIPAddrBlocks(FromSet(ipres.MustParseSet(
+		"63.160.0.0/12, 63.174.16.0-63.174.23.255, 2001:db8::/32")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asDER, err := MarshalASIdentifiers(ASChoice{Set: ipres.ASNSetOf(1239, 7018, 17054)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		for _, der := range [][]byte{ipDER, asDER} {
+			mutated := append([]byte(nil), der...)
+			for m := 0; m < 1+rng.Intn(3); m++ {
+				mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decoder panicked (trial %d): %v", trial, r)
+					}
+				}()
+				_, _ = UnmarshalIPAddrBlocks(mutated)
+				_, _ = UnmarshalASIdentifiers(mutated)
+			}()
+		}
+	}
+	// Random garbage of assorted lengths.
+	for n := 0; n < 64; n++ {
+		junk := make([]byte, n)
+		rng.Read(junk)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on garbage len %d: %v", n, r)
+				}
+			}()
+			_, _ = UnmarshalIPAddrBlocks(junk)
+			_, _ = UnmarshalASIdentifiers(junk)
+		}()
+	}
+}

@@ -1,0 +1,210 @@
+package roa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/ipres"
+)
+
+var testEpoch = time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
+
+func TestParsePrefixNotation(t *testing.T) {
+	p := MustParsePrefix("63.160.0.0/12-13")
+	if p.Prefix.String() != "63.160.0.0/12" || p.MaxLength != 13 {
+		t.Errorf("got %+v", p)
+	}
+	q := MustParsePrefix("63.174.16.0/20")
+	if q.MaxLength != 20 {
+		t.Errorf("default max length = %d", q.MaxLength)
+	}
+	if q.String() != "63.174.16.0/20" || p.String() != "63.160.0.0/12-13" {
+		t.Error("string round-trip wrong")
+	}
+	if _, err := ParsePrefix("63.160.0.0/12-11"); err == nil {
+		t.Error("max length below prefix length must fail")
+	}
+	if _, err := ParsePrefix("63.160.0.0/12-33"); err == nil {
+		t.Error("max length beyond width must fail")
+	}
+	if _, err := ParsePrefix("garbage"); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestROAContentRoundTrip(t *testing.T) {
+	r := MustNew(17054, MustParsePrefix("63.174.16.0/20"))
+	der, err := r.MarshalContent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalContent(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ASID != 17054 || len(back.Prefixes) != 1 || back.Prefixes[0].String() != "63.174.16.0/20" {
+		t.Errorf("got %v", back)
+	}
+}
+
+func TestROAContentRoundTripMaxLenAndFamilies(t *testing.T) {
+	r := MustNew(1239,
+		MustParsePrefix("63.160.0.0/12-24"),
+		MustParsePrefix("208.0.0.0/11-13"),
+		MustParsePrefix("2001:db8::/32-48"),
+	)
+	der, err := r.MarshalContent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalContent(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Prefixes) != 3 {
+		t.Fatalf("got %v", back)
+	}
+	if back.String() != r.String() {
+		t.Errorf("round trip changed ROA: %v vs %v", back, r)
+	}
+}
+
+func TestROAQuickRoundTrip(t *testing.T) {
+	f := func(asn uint32, v uint32, bitsRaw, extraRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		maxLen := bits + int(extraRaw)%(33-bits)
+		p, err := ipres.PrefixFrom(ipres.AddrFromUint32(v), bits)
+		if err != nil {
+			return false
+		}
+		r, err := New(ipres.ASN(asn), Prefix{Prefix: p, MaxLength: maxLen})
+		if err != nil {
+			return false
+		}
+		der, err := r.MarshalContent()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalContent(der)
+		if err != nil {
+			return false
+		}
+		return back.ASID == r.ASID && len(back.Prefixes) == 1 &&
+			back.Prefixes[0].Prefix == p && back.Prefixes[0].MaxLength == maxLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROAValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("empty ROA must fail")
+	}
+	if _, err := New(1, Prefix{Prefix: ipres.MustParsePrefix("10.0.0.0/8"), MaxLength: 7}); err == nil {
+		t.Error("maxLength < bits must fail")
+	}
+	if _, err := New(1, Prefix{Prefix: ipres.MustParsePrefix("10.0.0.0/8"), MaxLength: 33}); err == nil {
+		t.Error("maxLength > width must fail")
+	}
+}
+
+func TestROAResourceSet(t *testing.T) {
+	r := MustNew(7341, MustParsePrefix("63.174.16.0/22"))
+	if !r.ResourceSet().Equal(ipres.MustParseSet("63.174.16.0/22")) {
+		t.Errorf("got %v", r.ResourceSet())
+	}
+}
+
+func TestROAStringMatchesPaperNotation(t *testing.T) {
+	r := MustNew(1239, MustParsePrefix("63.160.0.0/12-13"))
+	if r.String() != "(63.160.0.0/12-13, AS1239)" {
+		t.Errorf("got %q", r.String())
+	}
+}
+
+func newCAandEE(t *testing.T, caRes, eeRes string) (*cert.ResourceCert, *cert.KeyPair, *cert.ResourceCert, *cert.KeyPair) {
+	t.Helper()
+	caKey := cert.MustGenerateKeyPair()
+	ca, err := cert.Issue(cert.Template{
+		Subject: "CA", Serial: 1,
+		NotBefore: testEpoch.Add(-time.Hour), NotAfter: testEpoch.Add(24 * time.Hour),
+		Resources: ipres.MustParseSet(caRes), CA: true,
+	}, nil, caKey, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eeKey := cert.MustGenerateKeyPair()
+	ee, err := cert.Issue(cert.Template{
+		Subject: "ee", Serial: 2,
+		NotBefore: testEpoch.Add(-time.Hour), NotAfter: testEpoch.Add(24 * time.Hour),
+		Resources: ipres.MustParseSet(eeRes),
+	}, ca, caKey, eeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, caKey, ee, eeKey
+}
+
+func TestSignedROARoundTrip(t *testing.T) {
+	_, _, ee, eeKey := newCAandEE(t, "63.160.0.0/12", "63.174.16.0/20")
+	r := MustNew(17054, MustParsePrefix("63.174.16.0/20"))
+	der, err := r.Sign(ee, eeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := ParseSigned(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signed.ROA.String() != r.String() {
+		t.Errorf("got %v", signed.ROA)
+	}
+	if signed.EE.Subject() != "ee" {
+		t.Errorf("EE = %q", signed.EE.Subject())
+	}
+}
+
+func TestSignedROARejectsEEUndercoverage(t *testing.T) {
+	// EE holds /22 but the ROA claims /20: must be rejected.
+	_, _, ee, eeKey := newCAandEE(t, "63.160.0.0/12", "63.174.16.0/22")
+	r := MustNew(17054, MustParsePrefix("63.174.16.0/20"))
+	der, err := r.Sign(ee, eeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ParseSigned(der)
+	if err == nil || !strings.Contains(err.Error(), "do not cover") {
+		t.Errorf("want coverage error, got %v", err)
+	}
+}
+
+func TestSignedROARejectsCorruption(t *testing.T) {
+	_, _, ee, eeKey := newCAandEE(t, "63.160.0.0/12", "63.174.16.0/20")
+	r := MustNew(17054, MustParsePrefix("63.174.16.0/20"))
+	der, err := r.Sign(ee, eeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the trailing signature bytes must always be detected.
+	bad := append([]byte(nil), der...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := ParseSigned(bad); err == nil {
+		t.Error("corrupted ROA must fail to parse — this is Side Effect 6's premise")
+	}
+	// A flip elsewhere must never yield a *different* ROA than was signed:
+	// it either fails to parse here, fails chain validation later (flips
+	// inside the embedded EE certificate), or leaves the ROA intact.
+	for i := 0; i < len(der); i += 11 {
+		mutated := append([]byte(nil), der...)
+		mutated[i] ^= 0x80
+		if signed, err := ParseSigned(mutated); err == nil {
+			if signed.ROA.String() != r.String() {
+				t.Fatalf("byte %d: altered ROA accepted: %v", i, signed.ROA)
+			}
+		}
+	}
+}

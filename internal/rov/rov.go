@@ -1,0 +1,262 @@
+// Package rov implements BGP route origin validation per RFC 6811 and
+// RFC 6483: classifying each (prefix, origin AS) route as Valid, Invalid, or
+// Unknown against a set of validated ROA payloads (VRPs).
+//
+// The classification rules encode the design decision the paper's Section 4
+// dissects: a route is Unknown only when NO valid ROA covers its prefix.
+// The moment any covering ROA exists, every route without a matching ROA of
+// its own is Invalid. Issuing a ROA therefore protects one route while
+// invalidating its neighbors (Side Effect 5), and losing a ROA flips its
+// route to Invalid — not Unknown — whenever a covering ROA remains
+// (Side Effect 6).
+package rov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ipres"
+	"repro/internal/roa"
+)
+
+// State is a route's validation state.
+type State uint8
+
+const (
+	// Unknown: no valid covering ROA exists.
+	Unknown State = iota
+	// Valid: a valid matching ROA exists.
+	Valid
+	// Invalid: covered but not matched.
+	Invalid
+)
+
+func (s State) String() string {
+	switch s {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Route is a BGP route as far as origin validation is concerned: a prefix
+// and the AS that originates it.
+type Route struct {
+	Prefix ipres.Prefix
+	Origin ipres.ASN
+}
+
+func (r Route) String() string { return fmt.Sprintf("(%s, %s)", r.Prefix, r.Origin) }
+
+// VRP is a validated ROA payload: one (prefix, maxLength, ASN) triple
+// extracted from a valid ROA.
+type VRP struct {
+	Prefix    ipres.Prefix
+	MaxLength int
+	ASN       ipres.ASN
+}
+
+func (v VRP) String() string {
+	if v.MaxLength == v.Prefix.Bits() {
+		return fmt.Sprintf("(%s, %s)", v.Prefix, v.ASN)
+	}
+	return fmt.Sprintf("(%s-%d, %s)", v.Prefix, v.MaxLength, v.ASN)
+}
+
+// Covers reports whether the VRP's prefix covers route prefix π (the
+// "covering ROA" test, which ignores ASN and maxLength).
+func (v VRP) Covers(p ipres.Prefix) bool { return v.Prefix.Covers(p) }
+
+// Matches reports whether the VRP authorizes the route (the "matching ROA"
+// test: origin matches, prefix covered, length within maxLength).
+func (v VRP) Matches(r Route) bool {
+	return v.ASN == r.Origin && v.Prefix.Covers(r.Prefix) && r.Prefix.Bits() <= v.MaxLength
+}
+
+// FromROA extracts the VRPs of a ROA.
+func FromROA(r *roa.ROA) []VRP {
+	out := make([]VRP, len(r.Prefixes))
+	for i, p := range r.Prefixes {
+		out[i] = VRP{Prefix: p.Prefix, MaxLength: p.MaxLength, ASN: r.ASID}
+	}
+	return out
+}
+
+// Index classifies routes against a VRP set. It is immutable once built and
+// safe for concurrent use.
+type Index struct {
+	// byPrefix maps each distinct VRP prefix to its VRPs.
+	byPrefix map[ipres.Prefix][]VRP
+	vrps     []VRP
+}
+
+// NewIndex builds a classification index over the given VRPs. Duplicates
+// are tolerated.
+func NewIndex(vrps ...VRP) *Index {
+	ix := &Index{byPrefix: make(map[ipres.Prefix][]VRP, len(vrps))}
+	seen := make(map[VRP]bool, len(vrps))
+	for _, v := range vrps {
+		if !v.Prefix.IsValid() || seen[v] {
+			continue
+		}
+		seen[v] = true
+		ix.byPrefix[v.Prefix] = append(ix.byPrefix[v.Prefix], v)
+		ix.vrps = append(ix.vrps, v)
+	}
+	sort.Slice(ix.vrps, func(i, j int) bool {
+		if c := ix.vrps[i].Prefix.Cmp(ix.vrps[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if ix.vrps[i].ASN != ix.vrps[j].ASN {
+			return ix.vrps[i].ASN < ix.vrps[j].ASN
+		}
+		return ix.vrps[i].MaxLength < ix.vrps[j].MaxLength
+	})
+	return ix
+}
+
+// VRPs returns the indexed VRPs in canonical order. The slice must not be
+// modified.
+func (ix *Index) VRPs() []VRP { return ix.vrps }
+
+// Len returns the number of distinct VRPs.
+func (ix *Index) Len() int { return len(ix.vrps) }
+
+// Classify returns the validation state of a route, plus the covering VRPs
+// that determined it (nil for Unknown).
+func (ix *Index) Classify(r Route) (State, []VRP) {
+	var covering []VRP
+	matched := false
+	// Every covering VRP's prefix is an ancestor of (or equal to) the
+	// route's prefix, so walk the prefix chain upward.
+	p := r.Prefix
+	for {
+		for _, v := range ix.byPrefix[p] {
+			covering = append(covering, v)
+			if v.Matches(r) {
+				matched = true
+			}
+		}
+		parent, ok := p.Parent()
+		if !ok {
+			break
+		}
+		p = parent
+	}
+	switch {
+	case matched:
+		return Valid, covering
+	case len(covering) > 0:
+		return Invalid, covering
+	default:
+		return Unknown, nil
+	}
+}
+
+// State is shorthand for Classify without the evidence.
+func (ix *Index) State(r Route) State {
+	s, _ := ix.Classify(r)
+	return s
+}
+
+// GridCell is one aggregated row of a validity grid: a run of consecutive
+// same-length subprefixes sharing a validation state for a given origin.
+type GridCell struct {
+	// First and Last bound the run (inclusive); both have length Bits.
+	First, Last ipres.Prefix
+	Bits        int
+	Origin      ipres.ASN
+	State       State
+}
+
+// Count returns the number of subprefixes in the run. Runs are contiguous,
+// so the count is (last.addr - first.addr)/blocksize + 1.
+func (c GridCell) Count() int {
+	diff := addrDelta(c.First.Addr(), c.Last.Addr())
+	return int(diff/uint64(c.First.Range().Size())) + 1
+}
+
+func addrDelta(a, b ipres.Addr) uint64 {
+	// Only used for IPv4 grids (the paper's figures are IPv4).
+	ab, bb := a.Bytes(), b.Bytes()
+	var av, bv uint64
+	for _, x := range ab {
+		av = av<<8 | uint64(x)
+	}
+	for _, x := range bb {
+		bv = bv<<8 | uint64(x)
+	}
+	return bv - av
+}
+
+func (c GridCell) String() string {
+	if c.First == c.Last {
+		return fmt.Sprintf("%-22s %s → %s", c.First, c.Origin, c.State)
+	}
+	return fmt.Sprintf("%s … %s (/%d ×%d) %s → %s", c.First, c.Last, c.Bits, c.Count(), c.Origin, c.State)
+}
+
+// ValidityGrid computes, for each origin in origins and each prefix length
+// from base.Bits() to maxLen, the validation state of every subprefix of
+// base, aggregated into runs of equal state. This reproduces the paper's
+// Figure 5 panels.
+func (ix *Index) ValidityGrid(base ipres.Prefix, maxLen int, origins []ipres.ASN) []GridCell {
+	var cells []GridCell
+	for _, origin := range origins {
+		for bits := base.Bits(); bits <= maxLen; bits++ {
+			var run *GridCell
+			for p := firstSub(base, bits); p.IsValid(); p = nextSub(base, p) {
+				s := ix.State(Route{Prefix: p, Origin: origin})
+				if run != nil && run.State == s {
+					run.Last = p
+					continue
+				}
+				if run != nil {
+					cells = append(cells, *run)
+				}
+				run = &GridCell{First: p, Last: p, Bits: bits, Origin: origin, State: s}
+			}
+			if run != nil {
+				cells = append(cells, *run)
+			}
+		}
+	}
+	return cells
+}
+
+// firstSub returns the first subprefix of base with the given length.
+func firstSub(base ipres.Prefix, bits int) ipres.Prefix {
+	if bits < base.Bits() || bits > base.Family().Width() {
+		return ipres.Prefix{}
+	}
+	return ipres.MustPrefixFrom(base.Addr(), bits)
+}
+
+// nextSub returns the next same-length subprefix of base after p, or the
+// zero Prefix when p is the last one.
+func nextSub(base ipres.Prefix, p ipres.Prefix) ipres.Prefix {
+	last := p.Range().Hi()
+	if last.Cmp(base.Range().Hi()) >= 0 {
+		return ipres.Prefix{}
+	}
+	next, ok := last.Next()
+	if !ok {
+		return ipres.Prefix{}
+	}
+	return ipres.MustPrefixFrom(next, p.Bits())
+}
+
+// FormatGrid renders grid cells, one per line.
+func FormatGrid(cells []GridCell) string {
+	var sb strings.Builder
+	for _, c := range cells {
+		sb.WriteString(c.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,370 @@
+package rov
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ipres"
+	"repro/internal/roa"
+)
+
+// figure2VRPs builds the VRPs of the paper's model RPKI (Figure 2):
+// Continental Broadband's ROAs inside 63.174.16.0/20 plus Sprint's and
+// ETB's ROAs.
+func figure2VRPs() []VRP {
+	return []VRP{
+		{Prefix: ipres.MustParsePrefix("63.174.16.0/20"), MaxLength: 20, ASN: 17054},
+		{Prefix: ipres.MustParsePrefix("63.174.16.0/22"), MaxLength: 22, ASN: 7341},
+		{Prefix: ipres.MustParsePrefix("63.174.20.0/22"), MaxLength: 24, ASN: 26821},
+		{Prefix: ipres.MustParsePrefix("63.174.25.0/24"), MaxLength: 24, ASN: 17054},
+		{Prefix: ipres.MustParsePrefix("63.174.26.0/23"), MaxLength: 23, ASN: 17054},
+		{Prefix: ipres.MustParsePrefix("63.161.0.0/16"), MaxLength: 16, ASN: 19429},
+		{Prefix: ipres.MustParsePrefix("63.168.0.0/16"), MaxLength: 24, ASN: 1239},
+		{Prefix: ipres.MustParsePrefix("63.170.0.0/16"), MaxLength: 24, ASN: 1239},
+	}
+}
+
+func route(p string, asn ipres.ASN) Route {
+	return Route{Prefix: ipres.MustParsePrefix(p), Origin: asn}
+}
+
+func TestClassifyPaperSemantics(t *testing.T) {
+	ix := NewIndex(figure2VRPs()...)
+	tests := []struct {
+		route Route
+		want  State
+	}{
+		// Figure 5 left, explicitly stated in the paper:
+		// routes for 63.160.0.0/12 are unknown (no covering ROA)...
+		{route("63.160.0.0/12", 1239), Unknown},
+		{route("63.160.0.0/12", 17054), Unknown},
+		// ...but routes for 63.174.17.0/24 are invalid because of the
+		// covering ROA for 63.174.16.0/20 (maxLength 20 < 24).
+		{route("63.174.17.0/24", 17054), Invalid},
+		{route("63.174.17.0/24", 9999), Invalid},
+		// The authorized route itself is valid.
+		{route("63.174.16.0/20", 17054), Valid},
+		// Same prefix, wrong origin: invalid (covered, not matched).
+		{route("63.174.16.0/20", 7341), Invalid},
+		// The /22 ROA for AS7341.
+		{route("63.174.16.0/22", 7341), Valid},
+		{route("63.174.16.0/22", 17054), Invalid},
+		// maxLength allows subprefixes: (63.174.20.0/22-24, AS26821).
+		{route("63.174.21.0/24", 26821), Valid},
+		{route("63.174.20.0/23", 26821), Valid},
+		{route("63.174.21.0/24", 17054), Invalid},
+		// Sprint's maxlen-24 ROAs.
+		{route("63.168.93.0/24", 1239), Valid},
+		{route("63.168.0.0/16", 1239), Valid},
+		{route("63.168.93.0/25", 1239), Invalid}, // beyond maxLength
+		// Entirely outside any ROA: unknown.
+		{route("8.8.8.0/24", 15169), Unknown},
+		{route("63.163.0.0/16", 7018), Unknown},
+	}
+	for _, tc := range tests {
+		if got := ix.State(tc.route); got != tc.want {
+			t.Errorf("Classify%v = %v, want %v", tc.route, got, tc.want)
+		}
+	}
+}
+
+func TestSideEffect5NewROAInvalidatesUnknowns(t *testing.T) {
+	base := figure2VRPs()
+	before := NewIndex(base...)
+	// Figure 5 right: Sprint issues (63.160.0.0/12-13, AS1239).
+	after := NewIndex(append(base, VRP{
+		Prefix: ipres.MustParsePrefix("63.160.0.0/12"), MaxLength: 13, ASN: 1239,
+	})...)
+
+	// Previously unknown routes become invalid...
+	for _, r := range []Route{
+		route("63.160.0.0/12", 17054),
+		route("63.163.0.0/16", 7018),
+		route("63.164.0.0/14", 1239), // /14 beyond maxLength 13, even for AS1239
+	} {
+		if got := before.State(r); got != Unknown {
+			t.Fatalf("precondition: %v should be unknown, got %v", r, got)
+		}
+		if got := after.State(r); got != Invalid {
+			t.Errorf("%v should become invalid, got %v", r, got)
+		}
+	}
+	// ...while AS1239's own /12 and /13 routes become valid.
+	for _, r := range []Route{
+		route("63.160.0.0/12", 1239),
+		route("63.160.0.0/13", 1239),
+		route("63.168.0.0/13", 1239),
+	} {
+		if got := after.State(r); got != Valid {
+			t.Errorf("%v should become valid, got %v", r, got)
+		}
+	}
+	// Existing valid routes are untouched.
+	if got := after.State(route("63.174.16.0/20", 17054)); got != Valid {
+		t.Errorf("existing valid route damaged: %v", got)
+	}
+}
+
+func TestSideEffect6MissingROATurnsInvalid(t *testing.T) {
+	all := figure2VRPs()
+	withoutTarget := make([]VRP, 0, len(all))
+	for _, v := range all {
+		if v.ASN == 7341 {
+			continue // the ROA (63.174.16.0/22, AS 7341) goes missing
+		}
+		withoutTarget = append(withoutTarget, v)
+	}
+	before := NewIndex(all...)
+	after := NewIndex(withoutTarget...)
+	r := route("63.174.16.0/22", 7341)
+	if before.State(r) != Valid {
+		t.Fatal("precondition failed")
+	}
+	// Invalid — NOT unknown — because the /20 ROA still covers it.
+	if got := after.State(r); got != Invalid {
+		t.Errorf("missing ROA should leave route invalid, got %v", got)
+	}
+}
+
+func TestClassifyReturnsCoveringEvidence(t *testing.T) {
+	ix := NewIndex(figure2VRPs()...)
+	s, evidence := ix.Classify(route("63.174.17.0/24", 17054))
+	if s != Invalid || len(evidence) == 0 {
+		t.Fatalf("got %v with %d evidence", s, len(evidence))
+	}
+	found := false
+	for _, v := range evidence {
+		if v.Prefix.String() == "63.174.16.0/20" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("evidence should include the covering /20 ROA")
+	}
+	s, evidence = ix.Classify(route("8.0.0.0/8", 3356))
+	if s != Unknown || evidence != nil {
+		t.Error("unknown should carry no evidence")
+	}
+}
+
+func TestValidityGridFigure5Left(t *testing.T) {
+	ix := NewIndex(figure2VRPs()...)
+	base := ipres.MustParsePrefix("63.160.0.0/12")
+	cells := ValidityGridCells(t, ix, base)
+
+	// The /12 row must be a single unknown run for every origin.
+	for _, c := range cells {
+		if c.Bits == 12 {
+			if c.State != Unknown {
+				t.Errorf("/12 should be unknown for %v, got %v", c.Origin, c.State)
+			}
+			if c.Count() != 1 {
+				t.Errorf("/12 run count = %d", c.Count())
+			}
+		}
+	}
+	// At /24 for AS17054 there must be invalid runs (covered unmatched)
+	// and at least one valid run (63.174.25.0/24 has maxLength 24... no:
+	// VRP (63.174.25.0/24,24,17054) matches the /24 route exactly).
+	var sawValid24, sawInvalid24, sawUnknown24 bool
+	for _, c := range cells {
+		if c.Bits == 24 && c.Origin == 17054 {
+			switch c.State {
+			case Valid:
+				sawValid24 = true
+			case Invalid:
+				sawInvalid24 = true
+			case Unknown:
+				sawUnknown24 = true
+			}
+		}
+	}
+	if !sawValid24 || !sawInvalid24 || !sawUnknown24 {
+		t.Errorf("AS17054 /24 row should mix states: valid=%v invalid=%v unknown=%v",
+			sawValid24, sawInvalid24, sawUnknown24)
+	}
+}
+
+// ValidityGridCells bounds the grid to /24 as in the paper ("the smallest
+// IPv4 prefix length which is globally routable in BGP is a /24").
+func ValidityGridCells(t *testing.T, ix *Index, base ipres.Prefix) []GridCell {
+	t.Helper()
+	return ix.ValidityGrid(base, 24, []ipres.ASN{1239, 17054, 7341, 26821})
+}
+
+func TestValidityGridRunsCoverWholeRow(t *testing.T) {
+	ix := NewIndex(figure2VRPs()...)
+	base := ipres.MustParsePrefix("63.160.0.0/12")
+	cells := ix.ValidityGrid(base, 16, []ipres.ASN{17054})
+	// For each length, the run counts must sum to 2^(bits-12).
+	sums := map[int]int{}
+	for _, c := range cells {
+		sums[c.Bits] += c.Count()
+	}
+	for bits := 12; bits <= 16; bits++ {
+		want := 1 << (bits - 12)
+		if sums[bits] != want {
+			t.Errorf("length %d: runs cover %d prefixes, want %d", bits, sums[bits], want)
+		}
+	}
+}
+
+func TestClassifyConsistencyRandom(t *testing.T) {
+	// Invariant: Valid ⇒ covered; Unknown ⇒ no covering VRP; and adding a
+	// VRP never turns Invalid into Unknown.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var vrps []VRP
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			bits := 8 + rng.Intn(17)
+			p := ipres.MustPrefixFrom(ipres.AddrFromUint32(rng.Uint32()), bits)
+			vrps = append(vrps, VRP{Prefix: p, MaxLength: bits + rng.Intn(25-bits+8)%8, ASN: ipres.ASN(rng.Intn(5))})
+		}
+		// Sanitize maxLength.
+		for i := range vrps {
+			if vrps[i].MaxLength < vrps[i].Prefix.Bits() {
+				vrps[i].MaxLength = vrps[i].Prefix.Bits()
+			}
+			if vrps[i].MaxLength > 32 {
+				vrps[i].MaxLength = 32
+			}
+		}
+		ix := NewIndex(vrps...)
+		for j := 0; j < 50; j++ {
+			bits := rng.Intn(25)
+			r := Route{
+				Prefix: ipres.MustPrefixFrom(ipres.AddrFromUint32(rng.Uint32()), bits),
+				Origin: ipres.ASN(rng.Intn(5)),
+			}
+			state, evidence := ix.Classify(r)
+			covered := false
+			matched := false
+			for _, v := range vrps {
+				if v.Covers(r.Prefix) {
+					covered = true
+				}
+				if v.Matches(r) {
+					matched = true
+				}
+			}
+			switch state {
+			case Valid:
+				if !matched {
+					t.Fatalf("valid without match: %v", r)
+				}
+			case Invalid:
+				if !covered || matched {
+					t.Fatalf("invalid but covered=%v matched=%v: %v", covered, matched, r)
+				}
+			case Unknown:
+				if covered {
+					t.Fatalf("unknown but covered: %v", r)
+				}
+			}
+			if state != Unknown && len(evidence) == 0 {
+				t.Fatalf("non-unknown state without evidence: %v", r)
+			}
+		}
+	}
+}
+
+func TestFromROA(t *testing.T) {
+	r := roa.MustNew(1239, roa.MustParsePrefix("63.160.0.0/12-13"), roa.MustParsePrefix("208.0.0.0/11"))
+	vrps := FromROA(r)
+	if len(vrps) != 2 {
+		t.Fatalf("got %d VRPs", len(vrps))
+	}
+	if vrps[0].ASN != 1239 || vrps[0].MaxLength != 13 {
+		t.Errorf("vrp[0] = %v", vrps[0])
+	}
+}
+
+func TestIndexDeduplicates(t *testing.T) {
+	v := VRP{Prefix: ipres.MustParsePrefix("10.0.0.0/8"), MaxLength: 8, ASN: 1}
+	ix := NewIndex(v, v, v)
+	if ix.Len() != 1 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || Unknown.String() != "unknown" {
+		t.Error("state strings wrong")
+	}
+}
+
+func TestGridCellStringAndCount(t *testing.T) {
+	ix := NewIndex(figure2VRPs()...)
+	cells := ix.ValidityGrid(ipres.MustParsePrefix("63.174.16.0/22"), 24, []ipres.ASN{7341})
+	if len(cells) == 0 {
+		t.Fatal("empty grid")
+	}
+	total := 0
+	for _, c := range cells {
+		if c.String() == "" {
+			t.Error("empty cell string")
+		}
+		total += c.Count()
+	}
+	// /22 + 2×/23 + 4×/24 = 7 prefixes across the three rows.
+	if total != 7 {
+		t.Errorf("total prefixes = %d, want 7", total)
+	}
+	out := FormatGrid(cells)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("grid output:\n%s", out)
+	}
+}
+
+func TestClassifyIPv6(t *testing.T) {
+	ix := NewIndex(VRP{Prefix: ipres.MustParsePrefix("2001:db8::/32"), MaxLength: 48, ASN: 64500})
+	tests := []struct {
+		route Route
+		want  State
+	}{
+		{route6("2001:db8::/32", 64500), Valid},
+		{route6("2001:db8:1::/48", 64500), Valid},
+		{route6("2001:db8:1::/49", 64500), Invalid}, // beyond maxLength
+		{route6("2001:db8::/32", 64501), Invalid},
+		{route6("2001:dead::/32", 64500), Unknown},
+	}
+	for _, tc := range tests {
+		if got := ix.State(tc.route); got != tc.want {
+			t.Errorf("%v = %v, want %v", tc.route, got, tc.want)
+		}
+	}
+}
+
+func route6(p string, asn ipres.ASN) Route {
+	return Route{Prefix: ipres.MustParsePrefix(p), Origin: asn}
+}
+
+func TestVRPStringForms(t *testing.T) {
+	v := VRP{Prefix: ipres.MustParsePrefix("63.160.0.0/12"), MaxLength: 12, ASN: 1239}
+	if v.String() != "(63.160.0.0/12, AS1239)" {
+		t.Errorf("got %q", v.String())
+	}
+	v.MaxLength = 13
+	if v.String() != "(63.160.0.0/12-13, AS1239)" {
+		t.Errorf("got %q", v.String())
+	}
+	r := Route{Prefix: ipres.MustParsePrefix("10.0.0.0/8"), Origin: 7}
+	if r.String() != "(10.0.0.0/8, AS7)" {
+		t.Errorf("got %q", r.String())
+	}
+}
+
+func TestValidityGridDegenerateInputs(t *testing.T) {
+	ix := NewIndex()
+	// maxLen below base bits: only the base row... actually no rows.
+	cells := ix.ValidityGrid(ipres.MustParsePrefix("10.0.0.0/24"), 23, []ipres.ASN{1})
+	if len(cells) != 0 {
+		t.Errorf("inverted grid should be empty, got %v", cells)
+	}
+	// Single-cell grid.
+	cells = ix.ValidityGrid(ipres.MustParsePrefix("10.0.0.0/24"), 24, []ipres.ASN{1})
+	if len(cells) != 1 || cells[0].State != Unknown || cells[0].Count() != 1 {
+		t.Errorf("got %v", cells)
+	}
+}

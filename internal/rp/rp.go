@@ -1,0 +1,423 @@
+// Package rp implements an RPKI relying party: starting from trust anchors,
+// it fetches publication points, validates certificates, CRLs, manifests and
+// ROAs top-down, and produces the validated cache of ROA payloads (VRPs)
+// that drives route origin validation.
+//
+// RFC 6483 requires the relying party to have "access to a local cache of
+// the complete set of valid ROAs". The paper's Side Effect 6 is about what
+// happens when that requirement silently fails: a ROA that cannot be
+// fetched, fails its hash, or falls outside a shrunken parent certificate
+// simply vanishes from the cache, and the corresponding route becomes
+// Invalid whenever another ROA covers it. The relying party therefore
+// reports rich diagnostics about incompleteness instead of failing —
+// mirroring the real protocol's silence.
+package rp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/ipres"
+	"repro/internal/manifest"
+	"repro/internal/repo"
+	"repro/internal/roa"
+	"repro/internal/rov"
+)
+
+// TrustAnchor seeds validation, like a TAL: the anchor certificate plus the
+// publication point it publishes into.
+type TrustAnchor struct {
+	// CertDER is the DER self-signed trust-anchor certificate.
+	CertDER []byte
+	// URI is the anchor's publication point.
+	URI repo.URI
+}
+
+// Fetcher retrieves the full contents of a publication point. *repo.Client
+// implements it over TCP; StoreFetcher implements it in-process; the
+// circular-dependency experiments implement it with reachability gating.
+type Fetcher interface {
+	FetchAll(ctx context.Context, uri repo.URI) (map[string][]byte, error)
+}
+
+// IncrementalFetcher is optionally implemented by fetchers that support
+// STAT-driven delta synchronization (*repo.Client does). A relying party
+// with CacheSnapshots enabled uses it to skip re-downloading unchanged
+// objects across Sync calls — rsync's delta mode.
+type IncrementalFetcher interface {
+	Fetcher
+	SyncIncremental(ctx context.Context, uri repo.URI, prev map[string][]byte) (*repo.SyncResult, error)
+}
+
+// StoreFetcher fetches directly from in-process stores, keyed by module
+// name. It implements Fetcher for non-networked experiments.
+type StoreFetcher map[string]*repo.Store
+
+// FetchAll implements Fetcher.
+func (s StoreFetcher) FetchAll(_ context.Context, uri repo.URI) (map[string][]byte, error) {
+	store, ok := s[uri.Module]
+	if !ok {
+		return nil, fmt.Errorf("rp: unknown publication point %q", uri.Module)
+	}
+	return store.Snapshot(), nil
+}
+
+// MissingPolicy selects the relying party's reaction to manifest trouble —
+// the open problem the paper highlights ("what to do about incomplete
+// information?").
+type MissingPolicy uint8
+
+const (
+	// BestEffort uses every object that independently validates, merely
+	// flagging incompleteness. This is what deployed validators do, and it
+	// is what makes Side Effect 6 bite.
+	BestEffort MissingPolicy = iota
+	// DropPublicationPoint discards ALL products of a publication point
+	// whose manifest is missing, stale, or inconsistent. Conservative
+	// against tampering, but turns any partial fault into a total outage
+	// of that authority's subtree.
+	DropPublicationPoint
+)
+
+// DiagKind classifies a validation diagnostic.
+type DiagKind uint8
+
+const (
+	// DiagFetchFailure: a publication point could not be fetched at all.
+	DiagFetchFailure DiagKind = iota
+	// DiagMissingObject: the manifest lists an object that is absent.
+	DiagMissingObject
+	// DiagHashMismatch: an object's content does not match the manifest.
+	DiagHashMismatch
+	// DiagInvalidObject: an object failed parsing or chain validation.
+	DiagInvalidObject
+	// DiagStaleManifest: the manifest's nextUpdate has passed.
+	DiagStaleManifest
+	// DiagMissingManifest: the publication point has no usable manifest.
+	DiagMissingManifest
+	// DiagDroppedPubPoint: DropPublicationPoint policy discarded the point.
+	DiagDroppedPubPoint
+)
+
+func (k DiagKind) String() string {
+	switch k {
+	case DiagFetchFailure:
+		return "fetch-failure"
+	case DiagMissingObject:
+		return "missing-object"
+	case DiagHashMismatch:
+		return "hash-mismatch"
+	case DiagInvalidObject:
+		return "invalid-object"
+	case DiagStaleManifest:
+		return "stale-manifest"
+	case DiagMissingManifest:
+		return "missing-manifest"
+	case DiagDroppedPubPoint:
+		return "dropped-publication-point"
+	}
+	return fmt.Sprintf("DiagKind(%d)", uint8(k))
+}
+
+// Diagnostic records one problem encountered during a sync.
+type Diagnostic struct {
+	Kind   DiagKind
+	Module string
+	Object string
+	Err    error
+}
+
+func (d Diagnostic) String() string {
+	if d.Object != "" {
+		return fmt.Sprintf("[%s] %s/%s: %v", d.Kind, d.Module, d.Object, d.Err)
+	}
+	return fmt.Sprintf("[%s] %s: %v", d.Kind, d.Module, d.Err)
+}
+
+// Config tunes a relying party.
+type Config struct {
+	// Fetcher retrieves publication points (required).
+	Fetcher Fetcher
+	// Clock supplies validation time (default time.Now).
+	Clock func() time.Time
+	// Policy selects the missing-information behavior.
+	Policy MissingPolicy
+	// RequireFreshManifest treats a stale manifest like a missing one.
+	RequireFreshManifest bool
+	// MaxDepth bounds hierarchy recursion (default 32).
+	MaxDepth int
+	// CacheSnapshots keeps per-publication-point snapshots between Sync
+	// calls and uses the Fetcher's incremental mode when available.
+	CacheSnapshots bool
+}
+
+// RelyingParty validates RPKI hierarchies into VRP sets.
+type RelyingParty struct {
+	cfg     Config
+	anchors []TrustAnchor
+	// snapshots caches module contents across Sync calls when
+	// CacheSnapshots is enabled.
+	snapshots map[string]map[string][]byte
+}
+
+// New creates a relying party over the given trust anchors.
+func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 32
+	}
+	return &RelyingParty{
+		cfg:       cfg,
+		anchors:   anchors,
+		snapshots: make(map[string]map[string][]byte),
+	}
+}
+
+func (rp *RelyingParty) now() time.Time {
+	if rp.cfg.Clock == nil {
+		return time.Now()
+	}
+	return rp.cfg.Clock()
+}
+
+// Result is the outcome of one synchronization pass.
+type Result struct {
+	// VRPs is the validated cache of ROA payloads.
+	VRPs []rov.VRP
+	// Diagnostics lists every problem encountered.
+	Diagnostics []Diagnostic
+	// PubPointsVisited counts publication points fetched (or attempted).
+	PubPointsVisited int
+	// ROAsAccepted counts validated ROAs.
+	ROAsAccepted int
+	// CertsAccepted counts validated CA certificates (including anchors).
+	CertsAccepted int
+	// ObjectsDownloaded and ObjectsReused count transfer work when the
+	// relying party runs in incremental mode (zero otherwise).
+	ObjectsDownloaded, ObjectsReused int
+}
+
+// Incomplete reports whether the relying party has any reason to believe
+// its cache is missing valid ROAs — the condition under which RFC 6483's
+// "complete set" requirement is unmet.
+func (r *Result) Incomplete() bool { return len(r.Diagnostics) > 0 }
+
+// Index builds a route-validation index from the result's VRPs.
+func (r *Result) Index() *rov.Index { return rov.NewIndex(r.VRPs...) }
+
+func (r *Result) diag(kind DiagKind, module, object string, err error) {
+	r.Diagnostics = append(r.Diagnostics, Diagnostic{Kind: kind, Module: module, Object: object, Err: err})
+}
+
+// Sync walks every trust anchor's subtree and returns the validated cache.
+func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
+	if rp.cfg.Fetcher == nil {
+		return nil, fmt.Errorf("rp: no fetcher configured")
+	}
+	res := &Result{}
+	now := rp.now()
+	for _, ta := range rp.anchors {
+		anchor, err := cert.Parse(ta.CertDER)
+		if err != nil {
+			res.diag(DiagInvalidObject, ta.URI.Module, "", fmt.Errorf("trust anchor: %w", err))
+			continue
+		}
+		resources, err := cert.ValidateTrustAnchor(anchor, now)
+		if err != nil {
+			res.diag(DiagInvalidObject, ta.URI.Module, "", err)
+			continue
+		}
+		res.CertsAccepted++
+		rp.walk(ctx, res, anchor, resources, ta.URI, rp.cfg.MaxDepth)
+	}
+	sortVRPs(res.VRPs)
+	return res, nil
+}
+
+func sortVRPs(vrps []rov.VRP) {
+	sort.Slice(vrps, func(i, j int) bool {
+		if c := vrps[i].Prefix.Cmp(vrps[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if vrps[i].ASN != vrps[j].ASN {
+			return vrps[i].ASN < vrps[j].ASN
+		}
+		return vrps[i].MaxLength < vrps[j].MaxLength
+	})
+}
+
+// walk validates one authority's publication point and recurses into child
+// authorities.
+func (rp *RelyingParty) walk(ctx context.Context, res *Result, authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int) {
+	if depth <= 0 {
+		res.diag(DiagInvalidObject, uri.Module, "", fmt.Errorf("hierarchy too deep"))
+		return
+	}
+	res.PubPointsVisited++
+	files, err := rp.fetch(ctx, res, uri)
+	if err != nil && len(files) == 0 {
+		res.diag(DiagFetchFailure, uri.Module, "", err)
+		return
+	}
+	if err != nil {
+		res.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
+	}
+	now := rp.now()
+
+	// Locate and validate the manifest named by the authority's SIA.
+	mftName := manifestName(authority, uri)
+	var mft *manifest.Manifest
+	if raw, ok := files[mftName]; ok {
+		signed, err := manifest.ParseSigned(raw)
+		if err != nil {
+			res.diag(DiagInvalidObject, uri.Module, mftName, err)
+		} else if _, err := cert.ValidateChild(authority, effective, signed.EE, cert.ValidationContext{Now: now}); err != nil {
+			res.diag(DiagInvalidObject, uri.Module, mftName, err)
+		} else {
+			mft = signed.Manifest
+			if mft.Stale(now) {
+				res.diag(DiagStaleManifest, uri.Module, mftName, fmt.Errorf("nextUpdate %v", mft.NextUpdate))
+				if rp.cfg.RequireFreshManifest {
+					mft = nil
+				}
+			}
+		}
+	} else {
+		res.diag(DiagMissingManifest, uri.Module, mftName, fmt.Errorf("manifest absent"))
+	}
+	if mft == nil && rp.cfg.Policy == DropPublicationPoint {
+		res.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("no usable manifest"))
+		return
+	}
+
+	// Cross-check manifest against fetched files.
+	manifestOK := true
+	if mft != nil {
+		for _, name := range mft.Names() {
+			content, ok := files[name]
+			if !ok {
+				res.diag(DiagMissingObject, uri.Module, name, fmt.Errorf("listed on manifest, not served"))
+				manifestOK = false
+				continue
+			}
+			if err := mft.Verify(name, content); err != nil {
+				res.diag(DiagHashMismatch, uri.Module, name, err)
+				manifestOK = false
+			}
+		}
+	}
+	if !manifestOK && rp.cfg.Policy == DropPublicationPoint {
+		res.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("manifest inconsistency"))
+		return
+	}
+
+	// Load the CRL (best effort; nil CRL skips revocation checks).
+	var crl *cert.CRL
+	ctxV := cert.ValidationContext{Now: now}
+	for name, raw := range files {
+		if !strings.HasSuffix(name, ".crl") {
+			continue
+		}
+		parsed, err := cert.ParseCRL(raw)
+		if err != nil {
+			res.diag(DiagInvalidObject, uri.Module, name, err)
+			continue
+		}
+		if err := parsed.VerifySignature(authority); err != nil {
+			res.diag(DiagInvalidObject, uri.Module, name, err)
+			continue
+		}
+		crl = parsed
+	}
+	ctxV.CRL = crl
+
+	// Validate ROAs and recurse into child certificates, in name order for
+	// determinism.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw := files[name]
+		if mft != nil {
+			if err := mft.Verify(name, raw); err != nil && name != mftName {
+				// Unlisted or mismatched object: reject it outright; a
+				// repository must not smuggle objects past its manifest.
+				res.diag(DiagHashMismatch, uri.Module, name, err)
+				continue
+			}
+		}
+		switch {
+		case strings.HasSuffix(name, ".roa"):
+			signed, err := roa.ParseSigned(raw)
+			if err != nil {
+				res.diag(DiagInvalidObject, uri.Module, name, err)
+				continue
+			}
+			if _, err := cert.ValidateChild(authority, effective, signed.EE, ctxV); err != nil {
+				res.diag(DiagInvalidObject, uri.Module, name, err)
+				continue
+			}
+			res.ROAsAccepted++
+			res.VRPs = append(res.VRPs, rov.FromROA(signed.ROA)...)
+
+		case strings.HasSuffix(name, ".cer"):
+			child, err := cert.Parse(raw)
+			if err != nil {
+				res.diag(DiagInvalidObject, uri.Module, name, err)
+				continue
+			}
+			if !child.IsCA() {
+				continue // EE certs are embedded in signed objects
+			}
+			if child.Cert.SubjectKeyId != nil && authority.Cert.SubjectKeyId != nil &&
+				string(child.Cert.SubjectKeyId) == string(authority.Cert.SubjectKeyId) {
+				continue // the authority's own certificate republished
+			}
+			childEffective, err := cert.ValidateChild(authority, effective, child, ctxV)
+			if err != nil {
+				res.diag(DiagInvalidObject, uri.Module, name, err)
+				continue
+			}
+			res.CertsAccepted++
+			childURI, _, err := repo.ParseURI(strings.TrimSuffix(child.SIA.CARepository, "/"))
+			if err != nil {
+				res.diag(DiagInvalidObject, uri.Module, name, fmt.Errorf("bad SIA: %w", err))
+				continue
+			}
+			rp.walk(ctx, res, child, childEffective, childURI, depth-1)
+		}
+	}
+}
+
+// fetch retrieves a publication point, using the fetcher's incremental
+// mode when snapshot caching is enabled and supported.
+func (rp *RelyingParty) fetch(ctx context.Context, res *Result, uri repo.URI) (map[string][]byte, error) {
+	inc, ok := rp.cfg.Fetcher.(IncrementalFetcher)
+	if !rp.cfg.CacheSnapshots || !ok {
+		return rp.cfg.Fetcher.FetchAll(ctx, uri)
+	}
+	sync, err := inc.SyncIncremental(ctx, uri, rp.snapshots[uri.Module])
+	if err != nil {
+		return nil, err
+	}
+	rp.snapshots[uri.Module] = sync.Files
+	res.ObjectsDownloaded += sync.Downloaded
+	res.ObjectsReused += sync.Reused
+	return sync.Files, nil
+}
+
+// manifestName extracts the manifest object name from the authority's SIA,
+// falling back to "<module>.mft".
+func manifestName(authority *cert.ResourceCert, uri repo.URI) string {
+	if authority.SIA.Manifest != "" {
+		if _, obj, err := repo.ParseURI(authority.SIA.Manifest); err == nil && obj != "" {
+			return obj
+		}
+	}
+	return uri.Module + ".mft"
+}

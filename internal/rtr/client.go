@@ -1,0 +1,197 @@
+package rtr
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rov"
+)
+
+// Client is the router side of the RTR protocol: it maintains a local copy
+// of the cache's VRPs and keeps it current via serial queries.
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	vrps    map[rov.VRP]bool
+	serial  uint32
+	session uint16
+	synced  bool
+	onSync  func([]rov.VRP)
+}
+
+// NewClient creates a client for the RTR server at addr.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, vrps: make(map[rov.VRP]bool)}
+}
+
+// OnSync registers a callback invoked with the full VRP set after every
+// completed update.
+func (c *Client) OnSync(fn func([]rov.VRP)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onSync = fn
+}
+
+// VRPs returns the current VRP set, sorted.
+func (c *Client) VRPs() []rov.VRP {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]rov.VRP, 0, len(c.vrps))
+	for v := range c.vrps {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if x := out[i].Prefix.Cmp(out[j].Prefix); x != 0 {
+			return x < 0
+		}
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].MaxLength < out[j].MaxLength
+	})
+	return out
+}
+
+// Serial returns the last completed serial.
+func (c *Client) Serial() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// Synced reports whether at least one End of Data has been processed.
+func (c *Client) Synced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.synced
+}
+
+// Run connects and synchronizes until ctx is canceled. It performs an
+// initial reset query, then reacts to serial notifies with serial queries.
+// Run returns the first fatal error, or ctx.Err() on cancellation.
+func (c *Client) Run(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("rtr: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+
+	r := bufio.NewReader(conn)
+	if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
+		return fmt.Errorf("rtr: reset query: %w", err)
+	}
+	staging := make(map[rov.VRP]bool)
+	inResponse := false
+	fullReload := true
+
+	for {
+		p, err := ReadPDU(r)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("rtr: read: %w", err)
+		}
+		switch p.Type {
+		case TypeCacheResponse:
+			inResponse = true
+			c.mu.Lock()
+			c.session = p.Session
+			if fullReload {
+				staging = make(map[rov.VRP]bool)
+			} else {
+				staging = make(map[rov.VRP]bool, len(c.vrps))
+				for v := range c.vrps {
+					staging[v] = true
+				}
+			}
+			c.mu.Unlock()
+
+		case TypeIPv4Prefix, TypeIPv6Prefix:
+			if !inResponse {
+				return fmt.Errorf("rtr: prefix PDU outside cache response")
+			}
+			if p.Flags&FlagAnnounce != 0 {
+				staging[p.VRP] = true
+			} else {
+				delete(staging, p.VRP)
+			}
+
+		case TypeEndOfData:
+			if !inResponse {
+				return fmt.Errorf("rtr: end of data outside cache response")
+			}
+			inResponse = false
+			fullReload = false
+			c.mu.Lock()
+			c.vrps = staging
+			c.serial = p.Serial
+			c.synced = true
+			cb := c.onSync
+			c.mu.Unlock()
+			if cb != nil {
+				cb(c.VRPs())
+			}
+			staging = make(map[rov.VRP]bool)
+
+		case TypeSerialNotify:
+			c.mu.Lock()
+			serial, session := c.serial, c.session
+			c.mu.Unlock()
+			if p.Serial == serial {
+				continue
+			}
+			if err := WritePDU(conn, &PDU{Type: TypeSerialQuery, Session: session, Serial: serial}); err != nil {
+				return fmt.Errorf("rtr: serial query: %w", err)
+			}
+
+		case TypeCacheReset:
+			fullReload = true
+			if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
+				return fmt.Errorf("rtr: reset query: %w", err)
+			}
+
+		case TypeErrorReport:
+			return fmt.Errorf("rtr: server error %d: %s", p.Session, p.ErrText)
+
+		default:
+			return fmt.Errorf("rtr: unexpected PDU type %d", p.Type)
+		}
+	}
+}
+
+// WaitSynced blocks until the client has completed an initial sync or the
+// timeout elapses.
+func (c *Client) WaitSynced(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Synced() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c.Synced()
+}
+
+// WaitSerial blocks until the client reaches at least the given serial.
+func (c *Client) WaitSerial(serial uint32, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Serial() >= serial {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c.Serial() >= serial
+}

@@ -1,0 +1,226 @@
+// Package rtr implements the RPKI-to-Router protocol (RFC 6810): the
+// channel over which a relying-party cache pushes validated ROA payloads
+// (VRPs) to BGP routers. This is the last link in the paper's Figure 1
+// dependency chain — whatever the RPKI says, it only affects BGP once it
+// crosses this protocol into the router's origin-validation table.
+//
+// The implementation covers the full RFC 6810 state machine: reset and
+// serial queries, incremental updates with a bounded delta history, session
+// IDs, cache reset, serial notify, and error reports, over plain TCP.
+package rtr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// Version is the protocol version implemented (RFC 6810).
+const Version = 0
+
+// PDU type codes per RFC 6810 section 5.
+const (
+	TypeSerialNotify  = 0
+	TypeSerialQuery   = 1
+	TypeResetQuery    = 2
+	TypeCacheResponse = 3
+	TypeIPv4Prefix    = 4
+	TypeIPv6Prefix    = 6
+	TypeEndOfData     = 7
+	TypeCacheReset    = 8
+	TypeErrorReport   = 10
+)
+
+// Error codes per RFC 6810 section 10.
+const (
+	ErrCorruptData        = 0
+	ErrInternal           = 1
+	ErrNoDataAvailable    = 2
+	ErrInvalidRequest     = 3
+	ErrUnsupportedVersion = 4
+	ErrUnsupportedPDU     = 5
+	ErrUnknownWithdrawal  = 6
+	ErrDuplicateAnnounce  = 7
+)
+
+// Prefix PDU flags.
+const (
+	// FlagAnnounce marks an announced VRP; its absence marks a withdrawal.
+	FlagAnnounce = 1
+)
+
+// PDU is one protocol data unit.
+type PDU struct {
+	Type    uint8
+	Session uint16 // session ID (or error code for ErrorReport)
+	Serial  uint32 // SerialNotify, SerialQuery, EndOfData
+	Flags   uint8  // prefix PDUs
+	VRP     rov.VRP
+	ErrText string // ErrorReport
+}
+
+const headerLen = 8
+
+// Marshal encodes the PDU.
+func (p *PDU) Marshal() ([]byte, error) {
+	switch p.Type {
+	case TypeSerialNotify, TypeSerialQuery, TypeEndOfData:
+		buf := make([]byte, headerLen+4)
+		putHeader(buf, p.Type, p.Session, uint32(len(buf)))
+		binary.BigEndian.PutUint32(buf[headerLen:], p.Serial)
+		return buf, nil
+	case TypeResetQuery, TypeCacheResponse, TypeCacheReset:
+		buf := make([]byte, headerLen)
+		putHeader(buf, p.Type, p.Session, headerLen)
+		return buf, nil
+	case TypeIPv4Prefix:
+		if p.VRP.Prefix.Family() != ipres.IPv4 {
+			return nil, fmt.Errorf("rtr: IPv4 prefix PDU with %v prefix", p.VRP.Prefix.Family())
+		}
+		buf := make([]byte, headerLen+12)
+		putHeader(buf, p.Type, 0, uint32(len(buf)))
+		buf[headerLen] = p.Flags
+		buf[headerLen+1] = uint8(p.VRP.Prefix.Bits())
+		buf[headerLen+2] = uint8(p.VRP.MaxLength)
+		copy(buf[headerLen+4:], p.VRP.Prefix.Addr().Bytes())
+		binary.BigEndian.PutUint32(buf[headerLen+8:], uint32(p.VRP.ASN))
+		return buf, nil
+	case TypeIPv6Prefix:
+		if p.VRP.Prefix.Family() != ipres.IPv6 {
+			return nil, fmt.Errorf("rtr: IPv6 prefix PDU with %v prefix", p.VRP.Prefix.Family())
+		}
+		buf := make([]byte, headerLen+24)
+		putHeader(buf, p.Type, 0, uint32(len(buf)))
+		buf[headerLen] = p.Flags
+		buf[headerLen+1] = uint8(p.VRP.Prefix.Bits())
+		buf[headerLen+2] = uint8(p.VRP.MaxLength)
+		copy(buf[headerLen+4:], p.VRP.Prefix.Addr().Bytes())
+		binary.BigEndian.PutUint32(buf[headerLen+20:], uint32(p.VRP.ASN))
+		return buf, nil
+	case TypeErrorReport:
+		text := []byte(p.ErrText)
+		// Encapsulated PDU omitted (length 0) + error text.
+		buf := make([]byte, headerLen+4+4+len(text))
+		putHeader(buf, p.Type, p.Session, uint32(len(buf)))
+		binary.BigEndian.PutUint32(buf[headerLen:], 0)
+		binary.BigEndian.PutUint32(buf[headerLen+4:], uint32(len(text)))
+		copy(buf[headerLen+8:], text)
+		return buf, nil
+	}
+	return nil, fmt.Errorf("rtr: cannot marshal PDU type %d", p.Type)
+}
+
+func putHeader(buf []byte, typ uint8, session uint16, length uint32) {
+	buf[0] = Version
+	buf[1] = typ
+	binary.BigEndian.PutUint16(buf[2:], session)
+	binary.BigEndian.PutUint32(buf[4:], length)
+}
+
+// maxPDULen bounds a single PDU read (error text included).
+const maxPDULen = 64 << 10
+
+// ReadPDU reads and decodes one PDU from r.
+func ReadPDU(r io.Reader) (*PDU, error) {
+	var header [headerLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	if header[0] != Version {
+		return nil, fmt.Errorf("rtr: unsupported version %d", header[0])
+	}
+	length := binary.BigEndian.Uint32(header[4:])
+	if length < headerLen || length > maxPDULen {
+		return nil, fmt.Errorf("rtr: PDU length %d out of range", length)
+	}
+	body := make([]byte, length-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	p := &PDU{Type: header[1], Session: binary.BigEndian.Uint16(header[2:])}
+	switch p.Type {
+	case TypeSerialNotify, TypeSerialQuery, TypeEndOfData:
+		if len(body) != 4 {
+			return nil, fmt.Errorf("rtr: serial PDU body %d bytes", len(body))
+		}
+		p.Serial = binary.BigEndian.Uint32(body)
+	case TypeResetQuery, TypeCacheResponse, TypeCacheReset:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("rtr: unexpected body for type %d", p.Type)
+		}
+	case TypeIPv4Prefix:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("rtr: IPv4 prefix body %d bytes", len(body))
+		}
+		vrp, flags, err := decodePrefixBody(ipres.IPv4, body)
+		if err != nil {
+			return nil, err
+		}
+		p.VRP, p.Flags = vrp, flags
+	case TypeIPv6Prefix:
+		if len(body) != 24 {
+			return nil, fmt.Errorf("rtr: IPv6 prefix body %d bytes", len(body))
+		}
+		vrp, flags, err := decodePrefixBody(ipres.IPv6, body)
+		if err != nil {
+			return nil, err
+		}
+		p.VRP, p.Flags = vrp, flags
+	case TypeErrorReport:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("rtr: short error report")
+		}
+		encLen := binary.BigEndian.Uint32(body)
+		if uint64(4+encLen+4) > uint64(len(body)) {
+			return nil, fmt.Errorf("rtr: bad error report lengths")
+		}
+		textOff := 4 + encLen
+		textLen := binary.BigEndian.Uint32(body[textOff:])
+		if uint64(textOff+4)+uint64(textLen) > uint64(len(body)) {
+			return nil, fmt.Errorf("rtr: bad error text length")
+		}
+		p.ErrText = string(body[textOff+4 : uint32(textOff+4)+textLen])
+	default:
+		return nil, fmt.Errorf("rtr: unsupported PDU type %d", p.Type)
+	}
+	return p, nil
+}
+
+func decodePrefixBody(fam ipres.Family, body []byte) (rov.VRP, uint8, error) {
+	flags := body[0]
+	bits := int(body[1])
+	maxLen := int(body[2])
+	addrLen := fam.Width() / 8
+	var addr ipres.Addr
+	if fam == ipres.IPv4 {
+		var b4 [4]byte
+		copy(b4[:], body[4:4+addrLen])
+		addr = ipres.AddrFrom4(b4)
+	} else {
+		var b16 [16]byte
+		copy(b16[:], body[4:4+addrLen])
+		addr = ipres.AddrFrom16(b16)
+	}
+	asn := ipres.ASN(binary.BigEndian.Uint32(body[4+addrLen:]))
+	prefix, err := ipres.PrefixFrom(addr, bits)
+	if err != nil {
+		return rov.VRP{}, 0, fmt.Errorf("rtr: bad prefix: %w", err)
+	}
+	if maxLen < bits || maxLen > fam.Width() {
+		return rov.VRP{}, 0, fmt.Errorf("rtr: max length %d out of range", maxLen)
+	}
+	return rov.VRP{Prefix: prefix, MaxLength: maxLen, ASN: asn}, flags, nil
+}
+
+// WritePDU marshals and writes one PDU.
+func WritePDU(w io.Writer, p *PDU) error {
+	buf, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

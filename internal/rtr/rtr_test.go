@@ -1,0 +1,309 @@
+package rtr
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+func vrp(p string, maxLen int, asn ipres.ASN) rov.VRP {
+	return rov.VRP{Prefix: ipres.MustParsePrefix(p), MaxLength: maxLen, ASN: asn}
+}
+
+func TestPDURoundTrip(t *testing.T) {
+	pdus := []*PDU{
+		{Type: TypeSerialNotify, Session: 7, Serial: 42},
+		{Type: TypeSerialQuery, Session: 7, Serial: 41},
+		{Type: TypeResetQuery},
+		{Type: TypeCacheResponse, Session: 7},
+		{Type: TypeIPv4Prefix, Flags: FlagAnnounce, VRP: vrp("63.160.0.0/12", 13, 1239)},
+		{Type: TypeIPv4Prefix, Flags: 0, VRP: vrp("63.174.16.0/20", 20, 17054)},
+		{Type: TypeIPv6Prefix, Flags: FlagAnnounce, VRP: vrp("2001:db8::/32", 48, 64500)},
+		{Type: TypeEndOfData, Session: 7, Serial: 42},
+		{Type: TypeCacheReset},
+		{Type: TypeErrorReport, Session: ErrNoDataAvailable, ErrText: "no data"},
+	}
+	for _, p := range pdus {
+		buf, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("marshal type %d: %v", p.Type, err)
+		}
+		got, err := ReadPDU(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("read type %d: %v", p.Type, err)
+		}
+		if got.Type != p.Type || got.Serial != p.Serial || got.Flags != p.Flags || got.ErrText != p.ErrText {
+			t.Errorf("round trip changed PDU: %+v vs %+v", got, p)
+		}
+		if p.Type == TypeIPv4Prefix || p.Type == TypeIPv6Prefix {
+			if got.VRP != p.VRP {
+				t.Errorf("VRP changed: %v vs %v", got.VRP, p.VRP)
+			}
+		}
+	}
+}
+
+func TestPDURejectsGarbage(t *testing.T) {
+	if _, err := ReadPDU(bytes.NewReader([]byte{9, 0, 0, 0, 0, 0, 0, 8})); err == nil {
+		t.Error("wrong version must fail")
+	}
+	if _, err := ReadPDU(bytes.NewReader([]byte{0, 99, 0, 0, 0, 0, 0, 8})); err == nil {
+		t.Error("unknown type must fail")
+	}
+	// Absurd length.
+	if _, err := ReadPDU(bytes.NewReader([]byte{0, 4, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Error("absurd length must fail")
+	}
+	// Marshal rejects family mismatch.
+	p := &PDU{Type: TypeIPv4Prefix, VRP: vrp("2001:db8::/32", 32, 1)}
+	if _, err := p.Marshal(); err == nil {
+		t.Error("family mismatch must fail")
+	}
+}
+
+func TestCacheDeltas(t *testing.T) {
+	c := NewCache(1)
+	v1 := vrp("10.0.0.0/8", 8, 1)
+	v2 := vrp("10.0.0.0/8", 8, 2)
+	c.SetVRPs([]rov.VRP{v1})
+	if c.Serial() != 1 || c.Len() != 1 {
+		t.Fatalf("serial=%d len=%d", c.Serial(), c.Len())
+	}
+	c.SetVRPs([]rov.VRP{v1}) // no change, no serial bump
+	if c.Serial() != 1 {
+		t.Error("identical update must not bump serial")
+	}
+	c.SetVRPs([]rov.VRP{v2})
+	ann, wd, serial, ok := c.deltasSince(1)
+	if !ok || serial != 2 || len(ann) != 1 || len(wd) != 1 {
+		t.Fatalf("delta: %v %v %d %v", ann, wd, serial, ok)
+	}
+	if ann[0] != v2 || wd[0] != v1 {
+		t.Error("delta content wrong")
+	}
+	// Current serial: empty delta, still ok.
+	ann, wd, _, ok = c.deltasSince(2)
+	if !ok || len(ann) != 0 || len(wd) != 0 {
+		t.Error("no-op delta wrong")
+	}
+	// Out-of-window serial: not ok.
+	if _, _, _, ok := c.deltasSince(99); ok {
+		t.Error("future serial should be out of window")
+	}
+}
+
+func startServer(t *testing.T, cache *Cache) string {
+	t.Helper()
+	srv := NewServer(cache)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr
+}
+
+func TestClientFullSync(t *testing.T) {
+	cache := NewCache(99)
+	vrps := []rov.VRP{
+		vrp("63.160.0.0/12", 13, 1239),
+		vrp("63.174.16.0/20", 20, 17054),
+		vrp("2001:db8::/32", 48, 64500),
+	}
+	cache.SetVRPs(vrps)
+	addr := startServer(t, cache)
+
+	client := NewClient(addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = client.Run(ctx) }()
+
+	if !client.WaitSynced(3 * time.Second) {
+		t.Fatal("client never synced")
+	}
+	got := client.VRPs()
+	if len(got) != 3 {
+		t.Fatalf("VRPs = %v", got)
+	}
+	if client.Serial() != 1 {
+		t.Errorf("serial = %d", client.Serial())
+	}
+}
+
+func TestClientIncrementalUpdate(t *testing.T) {
+	cache := NewCache(7)
+	v1 := vrp("63.174.16.0/20", 20, 17054)
+	v2 := vrp("63.174.16.0/22", 22, 7341)
+	cache.SetVRPs([]rov.VRP{v1, v2})
+	addr := startServer(t, cache)
+
+	client := NewClient(addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = client.Run(ctx) }()
+	if !client.WaitSynced(3 * time.Second) {
+		t.Fatal("initial sync failed")
+	}
+
+	// Whack v2: the withdrawal must propagate via serial notify + query.
+	cache.SetVRPs([]rov.VRP{v1})
+	if !client.WaitSerial(2, 3*time.Second) {
+		t.Fatal("incremental update never arrived")
+	}
+	got := client.VRPs()
+	if len(got) != 1 || got[0] != v1 {
+		t.Errorf("after withdrawal: %v", got)
+	}
+}
+
+func TestClientOnSyncCallback(t *testing.T) {
+	cache := NewCache(1)
+	cache.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, 1)})
+	addr := startServer(t, cache)
+
+	client := NewClient(addr)
+	syncs := make(chan int, 10)
+	client.OnSync(func(vrps []rov.VRP) { syncs <- len(vrps) })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = client.Run(ctx) }()
+
+	select {
+	case n := <-syncs:
+		if n != 1 {
+			t.Errorf("first sync had %d VRPs", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no sync callback")
+	}
+}
+
+func TestManyVRPsOverRTR(t *testing.T) {
+	cache := NewCache(3)
+	var vrps []rov.VRP
+	for i := 0; i < 1000; i++ {
+		p := ipres.MustPrefixFrom(ipres.AddrFromUint32(uint32(i)<<12), 24)
+		vrps = append(vrps, rov.VRP{Prefix: p, MaxLength: 24, ASN: ipres.ASN(i % 50)})
+	}
+	cache.SetVRPs(vrps)
+	addr := startServer(t, cache)
+	client := NewClient(addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = client.Run(ctx) }()
+	if !client.WaitSynced(5 * time.Second) {
+		t.Fatal("sync failed")
+	}
+	if got := len(client.VRPs()); got != len(vrps) {
+		t.Errorf("VRPs = %d, want %d", got, len(vrps))
+	}
+}
+
+func TestPDUQuickRoundTrip(t *testing.T) {
+	f := func(v uint32, bitsRaw, extraRaw uint8, asn uint32, announce bool) bool {
+		bits := int(bitsRaw % 33)
+		maxLen := bits + int(extraRaw)%(33-bits)
+		prefix, err := ipres.PrefixFrom(ipres.AddrFromUint32(v), bits)
+		if err != nil {
+			return false
+		}
+		var flags uint8
+		if announce {
+			flags = FlagAnnounce
+		}
+		p := &PDU{Type: TypeIPv4Prefix, Flags: flags,
+			VRP: rov.VRP{Prefix: prefix, MaxLength: maxLen, ASN: ipres.ASN(asn)}}
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := ReadPDU(bytes.NewReader(buf))
+		return err == nil && got.VRP == p.VRP && got.Flags == p.Flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientRecoversFromOutOfWindowSerial(t *testing.T) {
+	cache := NewCache(5)
+	cache.maxHist = 1 // tiny history window
+	v1 := vrp("10.0.0.0/8", 8, 1)
+	v2 := vrp("10.0.0.0/8", 8, 2)
+	v3 := vrp("10.0.0.0/8", 8, 3)
+	cache.SetVRPs([]rov.VRP{v1})
+	addr := startServer(t, cache)
+	client := NewClient(addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = client.Run(ctx) }()
+	if !client.WaitSynced(3 * time.Second) {
+		t.Fatal("initial sync failed")
+	}
+	// Two rapid updates age out the delta the client needs; the server
+	// must answer its serial query with Cache Reset and the client must
+	// recover with a full reload.
+	cache.SetVRPs([]rov.VRP{v2})
+	cache.SetVRPs([]rov.VRP{v3})
+	if !client.WaitSerial(3, 5*time.Second) {
+		t.Fatal("client never caught up after cache reset")
+	}
+	got := client.VRPs()
+	if len(got) != 1 || got[0] != v3 {
+		t.Errorf("after recovery: %v", got)
+	}
+}
+
+func TestServerRejectsUnsupportedPDU(t *testing.T) {
+	cache := NewCache(1)
+	addr := startServer(t, cache)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a Cache Response (a server→client PDU) as a query.
+	if err := WritePDU(conn, &PDU{Type: TypeCacheResponse}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadPDU(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != TypeErrorReport || p.Session != ErrUnsupportedPDU {
+		t.Errorf("want error report, got %+v", p)
+	}
+}
+
+func TestCacheSubscribeNotify(t *testing.T) {
+	cache := NewCache(1)
+	ch := cache.subscribe()
+	defer cache.unsubscribe(ch)
+	cache.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, 1)})
+	select {
+	case serial := <-ch:
+		if serial != 1 {
+			t.Errorf("serial = %d", serial)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notification")
+	}
+}
+
+func TestErrorReportRoundTripEmpty(t *testing.T) {
+	p := &PDU{Type: TypeErrorReport, Session: ErrInternal, ErrText: ""}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPDU(bytes.NewReader(buf))
+	if err != nil || got.ErrText != "" || got.Session != ErrInternal {
+		t.Errorf("got %+v, %v", got, err)
+	}
+}

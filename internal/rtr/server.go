@@ -1,0 +1,318 @@
+package rtr
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rov"
+)
+
+// delta records one cache update as announce/withdraw sets, for serving
+// incremental serial queries.
+type delta struct {
+	serial    uint32
+	announced []rov.VRP
+	withdrawn []rov.VRP
+}
+
+// Cache is the server-side VRP database with serial-numbered history.
+type Cache struct {
+	mu      sync.Mutex
+	session uint16
+	serial  uint32
+	vrps    map[rov.VRP]bool
+	history []delta
+	maxHist int
+	subs    map[chan uint32]bool
+}
+
+// NewCache creates an empty cache with the given session ID.
+func NewCache(session uint16) *Cache {
+	return &Cache{
+		session: session,
+		vrps:    make(map[rov.VRP]bool),
+		maxHist: 64,
+		subs:    make(map[chan uint32]bool),
+	}
+}
+
+// Serial returns the current serial number.
+func (c *Cache) Serial() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// Len returns the number of VRPs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vrps)
+}
+
+// SetVRPs replaces the cache contents, computing the delta against the
+// previous state, bumping the serial, and notifying subscribed connections.
+func (c *Cache) SetVRPs(vrps []rov.VRP) {
+	c.mu.Lock()
+	next := make(map[rov.VRP]bool, len(vrps))
+	for _, v := range vrps {
+		next[v] = true
+	}
+	var d delta
+	for v := range next {
+		if !c.vrps[v] {
+			d.announced = append(d.announced, v)
+		}
+	}
+	for v := range c.vrps {
+		if !next[v] {
+			d.withdrawn = append(d.withdrawn, v)
+		}
+	}
+	if len(d.announced) == 0 && len(d.withdrawn) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.serial++
+	d.serial = c.serial
+	c.vrps = next
+	c.history = append(c.history, d)
+	if len(c.history) > c.maxHist {
+		c.history = c.history[len(c.history)-c.maxHist:]
+	}
+	serial := c.serial
+	subs := make([]chan uint32, 0, len(c.subs))
+	for ch := range c.subs {
+		subs = append(subs, ch)
+	}
+	c.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- serial:
+		default: // subscriber busy; it will catch up on its next query
+		}
+	}
+}
+
+// snapshot returns the full VRP list and current serial.
+func (c *Cache) snapshot() ([]rov.VRP, uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]rov.VRP, 0, len(c.vrps))
+	for v := range c.vrps {
+		out = append(out, v)
+	}
+	return out, c.serial
+}
+
+// deltasSince returns the concatenated deltas after serial, or ok=false if
+// that serial has aged out of the history window.
+func (c *Cache) deltasSince(serial uint32) (announced, withdrawn []rov.VRP, current uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serial == c.serial {
+		return nil, nil, c.serial, true
+	}
+	found := false
+	for _, d := range c.history {
+		if found || d.serial == serial+1 {
+			found = true
+			announced = append(announced, d.announced...)
+			withdrawn = append(withdrawn, d.withdrawn...)
+		}
+	}
+	// The requested serial must be exactly one before the first delta we
+	// replayed; otherwise the client is out of window.
+	if !found {
+		return nil, nil, c.serial, false
+	}
+	return announced, withdrawn, c.serial, true
+}
+
+func (c *Cache) subscribe() chan uint32 {
+	ch := make(chan uint32, 4)
+	c.mu.Lock()
+	c.subs[ch] = true
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Cache) unsubscribe(ch chan uint32) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}
+
+// Server serves the RTR protocol for one cache.
+type Server struct {
+	cache  *Cache
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer creates an RTR server over cache.
+func NewServer(cache *Cache) *Server {
+	return &Server{cache: cache, closed: make(chan struct{})}
+}
+
+// Listen binds addr and starts serving; it returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rtr: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				select {
+				case <-s.closed:
+					return
+				default:
+					continue
+				}
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	notify := s.cache.subscribe()
+	defer s.cache.unsubscribe(notify)
+
+	// Reader goroutine feeds queries; this goroutine multiplexes queries
+	// and notify events.
+	queries := make(chan *PDU)
+	readErr := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(conn)
+		for {
+			p, err := ReadPDU(r)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			queries <- p
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-readErr:
+			return
+		case serial := <-notify:
+			_ = WritePDU(w, &PDU{Type: TypeSerialNotify, Session: s.sessionID(), Serial: serial})
+			if w.Flush() != nil {
+				return
+			}
+		case q := <-queries:
+			keep := s.answer(w, q)
+			if w.Flush() != nil || !keep {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) sessionID() uint16 {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return s.cache.session
+}
+
+// answer responds to one query; false means drop the connection.
+func (s *Server) answer(w *bufio.Writer, q *PDU) bool {
+	_ = w
+	switch q.Type {
+	case TypeResetQuery:
+		vrps, serial := s.cache.snapshot()
+		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: s.sessionID()}); err != nil {
+			return false
+		}
+		for _, v := range vrps {
+			if !s.writePrefix(w, v, FlagAnnounce) {
+				return false
+			}
+		}
+		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: s.sessionID(), Serial: serial}) == nil
+
+	case TypeSerialQuery:
+		if q.Session != s.sessionID() {
+			// Session mismatch: tell the client to reset.
+			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
+		}
+		announced, withdrawn, serial, ok := s.cache.deltasSince(q.Serial)
+		if !ok {
+			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
+		}
+		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: s.sessionID()}); err != nil {
+			return false
+		}
+		for _, v := range announced {
+			if !s.writePrefix(w, v, FlagAnnounce) {
+				return false
+			}
+		}
+		for _, v := range withdrawn {
+			if !s.writePrefix(w, v, 0) {
+				return false
+			}
+		}
+		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: s.sessionID(), Serial: serial}) == nil
+
+	case TypeErrorReport:
+		return false
+
+	default:
+		_ = WritePDU(w, &PDU{Type: TypeErrorReport, Session: ErrUnsupportedPDU,
+			ErrText: fmt.Sprintf("unsupported PDU type %d", q.Type)})
+		return false
+	}
+}
+
+func (s *Server) writePrefix(w *bufio.Writer, v rov.VRP, flags uint8) bool {
+	typ := uint8(TypeIPv4Prefix)
+	if v.Prefix.Family().Width() == 128 {
+		typ = TypeIPv6Prefix
+	}
+	return WritePDU(w, &PDU{Type: typ, Flags: flags, VRP: v}) == nil
+}
+
+// SetDeadlineAfter is a small helper for tests.
+func SetDeadlineAfter(conn net.Conn, d time.Duration) { _ = conn.SetDeadline(time.Now().Add(d)) }

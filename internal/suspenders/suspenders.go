@@ -1,0 +1,94 @@
+// Package suspenders implements a fail-safe layer for relying parties,
+// modeled on the direction of Kent & Mandelberg's "Suspenders" draft that
+// the paper cites among the IETF's concurrent hardening efforts: when a
+// previously valid ROA disappears from the fetched RPKI, the relying party
+// keeps honoring it for a bounded grace period instead of letting covered
+// routes flip to invalid instantly.
+//
+// This directly targets Side Effects 6 and 7: a transiently missing ROA no
+// longer takes the route down, and the circular dependency cannot latch —
+// the grace window keeps the repository reachable long enough to refetch
+// the healed object. The cost is equally direct: during the grace window a
+// genuinely revoked or whacked ROA keeps protecting (or keeps authorizing)
+// routes, delaying the RPKI's reaction to real address reclamation. The
+// tradeoff is the paper's Section 4 dilemma, made quantitative.
+package suspenders
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/rov"
+)
+
+// Entry is one remembered VRP with its last-seen time.
+type Entry struct {
+	VRP      rov.VRP
+	LastSeen time.Time
+}
+
+// Cache is the fail-safe VRP cache. It is not safe for concurrent use; a
+// relying party owns one and updates it after each sync.
+type Cache struct {
+	// Grace is how long a disappeared VRP is retained.
+	Grace time.Duration
+	// entries tracks every VRP ever seen and when.
+	entries map[rov.VRP]time.Time
+}
+
+// NewCache creates a fail-safe cache with the given grace period.
+func NewCache(grace time.Duration) *Cache {
+	return &Cache{Grace: grace, entries: make(map[rov.VRP]time.Time)}
+}
+
+// Update ingests the VRPs of a completed sync at time now and returns the
+// effective VRP set: everything currently present plus everything that
+// disappeared less than Grace ago.
+func (c *Cache) Update(now time.Time, current []rov.VRP) []rov.VRP {
+	for _, v := range current {
+		c.entries[v] = now
+	}
+	var out []rov.VRP
+	for v, seen := range c.entries {
+		if now.Sub(seen) > c.Grace {
+			delete(c.entries, v)
+			continue
+		}
+		out = append(out, v)
+	}
+	sortVRPs(out)
+	return out
+}
+
+// Suspended returns the VRPs currently honored only by grace (absent from
+// the latest sync at time now).
+func (c *Cache) Suspended(now time.Time, current []rov.VRP) []rov.VRP {
+	present := make(map[rov.VRP]bool, len(current))
+	for _, v := range current {
+		present[v] = true
+	}
+	var out []rov.VRP
+	for v, seen := range c.entries {
+		if present[v] || now.Sub(seen) > c.Grace {
+			continue
+		}
+		out = append(out, v)
+	}
+	sortVRPs(out)
+	return out
+}
+
+// Len returns the number of remembered VRPs.
+func (c *Cache) Len() int { return len(c.entries) }
+
+func sortVRPs(vrps []rov.VRP) {
+	sort.Slice(vrps, func(i, j int) bool {
+		if c := vrps[i].Prefix.Cmp(vrps[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if vrps[i].ASN != vrps[j].ASN {
+			return vrps[i].ASN < vrps[j].ASN
+		}
+		return vrps[i].MaxLength < vrps[j].MaxLength
+	})
+}

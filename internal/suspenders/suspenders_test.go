@@ -1,0 +1,106 @@
+package suspenders
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+var epoch = time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
+
+func vrp(p string, asn ipres.ASN) rov.VRP {
+	pref := ipres.MustParsePrefix(p)
+	return rov.VRP{Prefix: pref, MaxLength: pref.Bits(), ASN: asn}
+}
+
+func TestGraceRetainsMissingVRP(t *testing.T) {
+	c := NewCache(time.Hour)
+	v1 := vrp("63.174.16.0/20", 17054)
+	v2 := vrp("63.174.16.0/22", 7341)
+
+	out := c.Update(epoch, []rov.VRP{v1, v2})
+	if len(out) != 2 {
+		t.Fatalf("initial = %v", out)
+	}
+	// v2 disappears (Side Effect 6): within grace it is retained.
+	out = c.Update(epoch.Add(10*time.Minute), []rov.VRP{v1})
+	if len(out) != 2 {
+		t.Fatalf("within grace = %v", out)
+	}
+	susp := c.Suspended(epoch.Add(10*time.Minute), []rov.VRP{v1})
+	if len(susp) != 1 || susp[0] != v2 {
+		t.Errorf("suspended = %v", susp)
+	}
+	// After grace, it expires for real.
+	out = c.Update(epoch.Add(2*time.Hour), []rov.VRP{v1})
+	if len(out) != 1 || out[0] != v1 {
+		t.Fatalf("after grace = %v", out)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d", c.Len())
+	}
+}
+
+func TestReappearanceResetsClock(t *testing.T) {
+	c := NewCache(time.Hour)
+	v := vrp("10.0.0.0/8", 1)
+	c.Update(epoch, []rov.VRP{v})
+	c.Update(epoch.Add(50*time.Minute), nil) // missing but in grace
+	// It comes back: clock resets.
+	c.Update(epoch.Add(55*time.Minute), []rov.VRP{v})
+	out := c.Update(epoch.Add(100*time.Minute), nil)
+	if len(out) != 1 {
+		t.Errorf("reappeared VRP should survive a fresh grace window: %v", out)
+	}
+}
+
+func TestGraceDelaysLegitimateRevocation(t *testing.T) {
+	// The cost side of the tradeoff: a deliberately whacked ROA keeps
+	// acting for the grace period.
+	c := NewCache(time.Hour)
+	v := vrp("63.161.0.0/16", 19429)
+	c.Update(epoch, []rov.VRP{v})
+	out := c.Update(epoch.Add(30*time.Minute), nil) // legitimately revoked
+	if len(out) != 1 {
+		t.Fatal("the revoked ROA is still honored — that is the cost")
+	}
+	out = c.Update(epoch.Add(90*time.Minute), nil)
+	if len(out) != 0 {
+		t.Fatal("revocation finally takes effect after grace")
+	}
+}
+
+func TestSideEffect6Neutralized(t *testing.T) {
+	// With suspenders, the paper's missing-ROA flip does not happen
+	// within the grace window.
+	c := NewCache(time.Hour)
+	cover := vrp("63.174.16.0/20", 17054)
+	target := vrp("63.174.16.0/22", 7341)
+	effective := c.Update(epoch, []rov.VRP{cover, target})
+	route := rov.Route{Prefix: ipres.MustParsePrefix("63.174.16.0/22"), Origin: 7341}
+	if rov.NewIndex(effective...).State(route) != rov.Valid {
+		t.Fatal("precondition")
+	}
+	// The target ROA goes missing; the plain cache would flip the route
+	// to invalid (the /20 still covers it). Suspenders holds it valid.
+	plain := rov.NewIndex(cover)
+	if plain.State(route) != rov.Invalid {
+		t.Fatal("plain cache should flip to invalid")
+	}
+	effective = c.Update(epoch.Add(5*time.Minute), []rov.VRP{cover})
+	if got := rov.NewIndex(effective...).State(route); got != rov.Valid {
+		t.Errorf("suspenders should hold the route valid, got %v", got)
+	}
+}
+
+func TestZeroGraceDegenerates(t *testing.T) {
+	c := NewCache(0)
+	v := vrp("10.0.0.0/8", 1)
+	c.Update(epoch, []rov.VRP{v})
+	out := c.Update(epoch.Add(time.Nanosecond), nil)
+	if len(out) != 0 {
+		t.Error("zero grace should behave like a plain cache")
+	}
+}
