@@ -13,6 +13,8 @@ package rpkirisk
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -187,6 +189,66 @@ func BenchmarkSyntheticWorldValidation(b *testing.B) {
 		}
 		if res.ROAsAccepted < 1200 {
 			b.Fatalf("ROAs = %d", res.ROAsAccepted)
+		}
+	}
+}
+
+// BenchmarkValidateSyntheticParallel measures the parallel validation
+// pipeline on the production-scale synthetic world at several worker
+// counts. workers=1 is the sequential baseline; every sub-benchmark builds
+// a fresh relying party per iteration, so the verification cache is always
+// cold and the numbers isolate the pipeline itself.
+func BenchmarkValidateSyntheticParallel(b *testing.B) {
+	w, err := NewSyntheticWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ValidateParallel(ctx, w, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ROAsAccepted < 1200 {
+					b.Fatalf("ROAs = %d", res.ROAsAccepted)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidateSyntheticWarmCache measures a re-sync of an unchanged
+// synthetic world on a relying party whose verification cache is already
+// populated — the steady state of a polling relying party. All signature
+// verifications are cache hits; only hashing, manifest cross-checks and the
+// time/CRL/containment validation remain.
+func BenchmarkValidateSyntheticWarmCache(b *testing.B) {
+	w, err := NewSyntheticWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	relying := NewRelyingParty(w, 0)
+	if _, err := relying.Sync(ctx); err != nil { // cold pass populates the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := relying.Sync(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ROAsAccepted < 1200 {
+			b.Fatalf("ROAs = %d", res.ROAsAccepted)
+		}
+		if res.VerifyCacheMisses != 0 {
+			b.Fatalf("warm re-sync re-verified %d objects", res.VerifyCacheMisses)
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint]
+//	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -27,6 +28,7 @@ func main() {
 	rtrAddr := flag.String("rtr", "", "serve RTR on this address (empty: disabled)")
 	policy := flag.String("policy", "best-effort", "missing-information policy: best-effort or drop-pubpoint")
 	interval := flag.Duration("interval", 0, "resync interval (0: sync once and exit unless -rtr)")
+	workers := flag.Int("workers", 0, "validation workers (0: GOMAXPROCS, 1: sequential)")
 	flag.Parse()
 
 	anchor, err := rpkirisk.ReadTAL(*talPath)
@@ -43,9 +45,15 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	client := rpkirisk.ClientFor(*server, 10*time.Second)
+	client.Concurrency = *workers
+	if client.Concurrency == 0 {
+		client.Concurrency = runtime.GOMAXPROCS(0)
+	}
 	relying := rp.New(rp.Config{
-		Fetcher: rpkirisk.ClientFor(*server, 10*time.Second),
+		Fetcher: client,
 		Policy:  missing,
+		Workers: *workers,
 	}, anchor)
 
 	sync := func() *rp.Result {

@@ -1,0 +1,111 @@
+package cert
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyCache memoizes signature verifications across validation passes.
+//
+// A relying party that polls (the monitor loop, the Side Effect 7 timeline)
+// re-validates the same unchanged objects every tick; the public-key
+// operations dominate that cost. A signature check is a pure function of the
+// signed bytes and the signer's key, so its outcome can be cached under the
+// key (SHA-256 of the object, issuer subject-key-identifier) — unlike the
+// time-, CRL- and resource-containment checks, which must stay fresh and are
+// therefore never cached here.
+//
+// The cache is safe for concurrent use and grows without bound; it is keyed
+// by content hash, so republished (mutated) objects miss naturally rather
+// than returning stale verdicts. Entries are single-flight: concurrent
+// lookups of the same key block on one verification instead of duplicating
+// the public-key operation, which also keeps the hit/miss counters exact.
+type VerifyCache struct {
+	mu           sync.RWMutex
+	verdicts     map[verifyKey]*verdictEntry
+	hits, misses atomic.Uint64
+}
+
+type verifyKey struct {
+	object [32]byte // SHA-256 of the signed object's DER
+	issuer string   // issuer SubjectKeyId (raw bytes)
+}
+
+type verdictEntry struct {
+	once sync.Once
+	err  error
+}
+
+// NewVerifyCache returns an empty cache.
+func NewVerifyCache() *VerifyCache {
+	return &VerifyCache{verdicts: make(map[verifyKey]*verdictEntry)}
+}
+
+// Memoize returns the cached verdict for (objectHash, issuer), running
+// verify exactly once per key across all goroutines. A nil cache runs
+// verify directly.
+func (c *VerifyCache) Memoize(objectHash [32]byte, issuer *ResourceCert, verify func() error) error {
+	if c == nil {
+		return verify()
+	}
+	key := verifyKey{object: objectHash, issuer: string(issuer.Cert.SubjectKeyId)}
+	c.mu.RLock()
+	e, ok := c.verdicts[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		e, ok = c.verdicts[key]
+		if !ok {
+			e = &verdictEntry{}
+			c.verdicts[key] = e
+		}
+		c.mu.Unlock()
+	}
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.err = verify() })
+	return e.err
+}
+
+// CheckChildSignature is child.Cert.CheckSignatureFrom(issuer.Cert) with
+// memoization.
+func (c *VerifyCache) CheckChildSignature(issuer, child *ResourceCert) error {
+	if c == nil {
+		return child.Cert.CheckSignatureFrom(issuer.Cert)
+	}
+	return c.Memoize(sha256.Sum256(child.Raw), issuer, func() error {
+		return child.Cert.CheckSignatureFrom(issuer.Cert)
+	})
+}
+
+// VerifyCRL is crl.VerifySignature(issuer) with memoization.
+func (c *VerifyCache) VerifyCRL(issuer *ResourceCert, crl *CRL) error {
+	if c == nil {
+		return crl.VerifySignature(issuer)
+	}
+	return c.Memoize(sha256.Sum256(crl.Raw), issuer, func() error {
+		return crl.VerifySignature(issuer)
+	})
+}
+
+// Len returns the number of cached verdicts.
+func (c *VerifyCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.verdicts)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *VerifyCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

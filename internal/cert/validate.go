@@ -34,6 +34,9 @@ type ValidationContext struct {
 	CRL *CRL
 	// RequireFreshCRL rejects the chain when the supplied CRL is stale.
 	RequireFreshCRL bool
+	// Cache, if non-nil, memoizes the signature verifications (and only
+	// those — freshness, revocation and containment are always re-checked).
+	Cache *VerifyCache
 }
 
 // EffectiveResources resolves the IP resources a certificate actually holds,
@@ -70,7 +73,7 @@ func ValidateChild(issuer *ResourceCert, issuerEffective ipres.Set, child *Resou
 	if !issuer.IsCA() {
 		return ipres.Set{}, fmt.Errorf("%w: %q", ErrNotCA, issuer.Subject())
 	}
-	if err := child.Cert.CheckSignatureFrom(issuer.Cert); err != nil {
+	if err := ctx.Cache.CheckChildSignature(issuer, child); err != nil {
 		return ipres.Set{}, fmt.Errorf("%w: %q: %v", ErrBadSignature, child.Subject(), err)
 	}
 	if ctx.Now.Before(child.Cert.NotBefore) {
@@ -80,7 +83,7 @@ func ValidateChild(issuer *ResourceCert, issuerEffective ipres.Set, child *Resou
 		return ipres.Set{}, fmt.Errorf("%w: %q (notAfter %v)", ErrExpired, child.Subject(), child.Cert.NotAfter)
 	}
 	if ctx.CRL != nil {
-		if err := ctx.CRL.VerifySignature(issuer); err != nil {
+		if err := ctx.Cache.VerifyCRL(issuer, ctx.CRL); err != nil {
 			return ipres.Set{}, fmt.Errorf("%w: CRL: %v", ErrBadSignature, err)
 		}
 		if ctx.RequireFreshCRL && ctx.CRL.Stale(ctx.Now) {

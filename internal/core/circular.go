@@ -294,10 +294,15 @@ func (s *CircularSim) Step(ctx context.Context) (*StepReport, error) {
 	if err := s.Network.Converge(); err != nil {
 		return nil, err
 	}
+	// Workers is pinned to 1: the gated fetcher consults the BGP network
+	// and records unreachable modules on the step report, neither of which
+	// is synchronized for concurrent fetches — and the timeline experiment
+	// models one sequential sync per tick anyway.
 	relying := rp.New(rp.Config{
 		Fetcher: gatedFetcher{sim: s, report: report},
 		Clock:   s.Clock,
 		Policy:  s.Policy,
+		Workers: 1,
 	}, s.Anchors...)
 	result, err := relying.Sync(ctx)
 	if err != nil {

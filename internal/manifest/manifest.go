@@ -68,12 +68,18 @@ func (m *Manifest) Lookup(name string) (Entry, bool) {
 // Verify checks content against the manifest entry for name. It returns an
 // error if the entry is absent or the hash differs.
 func (m *Manifest) Verify(name string, content []byte) error {
+	return m.VerifyHash(name, sha256.Sum256(content))
+}
+
+// VerifyHash is Verify for a caller that already hashed the content — the
+// relying party hashes every fetched object exactly once and checks the
+// manifest (cross-check and per-object admission) against that digest.
+func (m *Manifest) VerifyHash(name string, hash [32]byte) error {
 	e, ok := m.Lookup(name)
 	if !ok {
 		return fmt.Errorf("manifest: %q not listed", name)
 	}
-	h := sha256.Sum256(content)
-	if h != e.Hash {
+	if hash != e.Hash {
 		return fmt.Errorf("manifest: %q hash mismatch", name)
 	}
 	return nil

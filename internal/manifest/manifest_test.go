@@ -1,6 +1,9 @@
 package manifest
 
 import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -124,5 +127,29 @@ func TestManifestEqualDiffers(t *testing.T) {
 	c := New(2, testEpoch, testEpoch.Add(time.Hour), map[string][]byte{"a": []byte("1")})
 	if a.Equal(c) {
 		t.Error("different numbers must differ")
+	}
+}
+
+func TestManifestVerifyHash(t *testing.T) {
+	files := sampleFiles()
+	m := New(1, testEpoch, testEpoch.Add(24*time.Hour), files)
+	good := sha256.Sum256(files["etb.cer"])
+	if err := m.VerifyHash("etb.cer", good); err != nil {
+		t.Error(err)
+	}
+	var bad [32]byte
+	copy(bad[:], good[:])
+	bad[0] ^= 0xFF
+	err := m.VerifyHash("etb.cer", bad)
+	if err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Errorf("wrong-hash error = %v", err)
+	}
+	err = m.VerifyHash("ghost.cer", good)
+	if err == nil || !strings.Contains(err.Error(), "not listed") {
+		t.Errorf("unlisted error = %v", err)
+	}
+	// Verify must agree with VerifyHash on the same content.
+	if got, want := fmt.Sprint(m.Verify("ghost.cer", files["etb.cer"])), fmt.Sprint(err); got != want {
+		t.Errorf("Verify = %q, VerifyHash = %q", got, want)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -22,6 +23,18 @@ type Client struct {
 	// Dial overrides the dialer; used by the circular-dependency
 	// experiments to make reachability depend on BGP route validity.
 	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Concurrency is the number of parallel connections FetchAll spreads
+	// its GETs across (default 1). Each connection is reused for its whole
+	// shard of objects — the per-object cost is one pipelined
+	// request/response, not a dial. Results are merged deterministically.
+	Concurrency int
+}
+
+func (c *Client) concurrency() int {
+	if c == nil || c.Concurrency < 1 {
+		return 1
+	}
+	return c.Concurrency
 }
 
 func (c *Client) timeout() time.Duration {
@@ -117,51 +130,118 @@ func getOne(conn net.Conn, module, name string) ([]byte, error) {
 	return content, nil
 }
 
-// FetchAll lists the module and downloads every object over a single
-// connection, returning name → content. Objects that fail mid-fetch are
-// reported via the error; partial results are returned so a relying party
-// can reason about incomplete information (Side Effect 6).
+// FetchAll lists the module and downloads every object, pipelining GETs
+// over up to Concurrency reused connections, returning name → content.
+// Objects that fail mid-fetch are reported via the error; partial results
+// are returned so a relying party can reason about incomplete information
+// (Side Effect 6). The first error is chosen deterministically (smallest
+// affected object name) regardless of connection scheduling.
 func (c *Client) FetchAll(ctx context.Context, uri URI) (map[string][]byte, error) {
 	names, err := c.List(ctx, uri)
 	if err != nil {
 		return nil, err
 	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+	if len(ordered) == 0 {
+		return make(map[string][]byte), nil
+	}
+
 	ctx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
+
+	shards := c.concurrency()
+	if shards > len(ordered) {
+		shards = len(ordered)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	type shardResult struct {
+		files map[string][]byte
+		// errName orders errors canonically: the smallest object name the
+		// shard's error applies to.
+		errName string
+		err     error
+	}
+	results := make([]shardResult, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		// Round-robin over sorted names: shard s fetches ordered[s::shards].
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = c.fetchShard(ctx, uri, ordered, s, shards)
+		}(s)
+	}
+	wg.Wait()
+
+	out := make(map[string][]byte, len(ordered))
+	var firstErr error
+	var firstErrName string
+	for _, res := range results {
+		for name, content := range res.files {
+			out[name] = content
+		}
+		if res.err != nil && (firstErr == nil || res.errName < firstErrName) {
+			firstErr, firstErrName = res.err, res.errName
+		}
+	}
+	return out, firstErr
+}
+
+// fetchShard downloads every shards-th name starting at offset s over one
+// connection. A protocol-level ERR for an object is recorded and the shard
+// continues; a connection-level failure aborts the shard with its partial
+// results.
+func (c *Client) fetchShard(ctx context.Context, uri URI, ordered []string, s, shards int) (res struct {
+	files   map[string][]byte
+	errName string
+	err     error
+}) {
+	res.files = make(map[string][]byte)
+	fail := func(name string, err error) {
+		if res.err == nil || name < res.errName {
+			res.errName, res.err = name, err
+		}
+	}
 	conn, err := c.dial(ctx, uri.Host)
 	if err != nil {
-		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+		fail(ordered[s], fmt.Errorf("repo: dial %s: %w", uri.Host, err))
+		return res
 	}
 	defer conn.Close()
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
 	r := bufio.NewReader(conn)
-
-	out := make(map[string][]byte, len(names))
-	var firstErr error
-	for name := range names {
+	for i := s; i < len(ordered); i += shards {
+		name := ordered[i]
 		if err := writeLine(conn, "GET %s %s", uri.Module, name); err != nil {
-			return out, fmt.Errorf("repo: sending GET: %w", err)
+			fail(name, fmt.Errorf("repo: sending GET: %w", err))
+			return res
 		}
 		header, err := readLine(r)
 		if err != nil {
-			return out, fmt.Errorf("repo: reading GET response: %w", err)
+			fail(name, fmt.Errorf("repo: reading GET response: %w", err))
+			return res
 		}
 		size, err := parseOKCount(header, MaxObjectSize)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("repo: object %q: %w", name, err)
-			}
+			fail(name, fmt.Errorf("repo: object %q: %w", name, err))
 			continue
 		}
 		content := make([]byte, size)
 		if _, err := io.ReadFull(r, content); err != nil {
-			return out, fmt.Errorf("repo: reading %q body: %w", name, err)
+			fail(name, fmt.Errorf("repo: reading %q body: %w", name, err))
+			return res
 		}
-		out[name] = content
+		res.files[name] = content
 	}
-	return out, firstErr
+	return res
 }
 
 // ObjectInfo is a STAT result.

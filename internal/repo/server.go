@@ -25,6 +25,15 @@ type Module struct {
 // a server with one module models an authority self-hosting its repository
 // (the configuration that creates the paper's Side Effect 7 circularity).
 type Server struct {
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests (and how long one request/response exchange may take)
+	// before the server drops it, so a hung peer cannot pin a handler
+	// forever. The deadline is re-armed for every request, so a
+	// long-lived connection that keeps issuing commands — a relying
+	// party pipelining GETs for a whole module — is never cut off
+	// mid-sync. Default 30s. Set before Listen.
+	ReadTimeout time.Duration
+
 	mu      sync.RWMutex
 	modules map[string]*Module
 	ln      net.Listener
@@ -112,14 +121,26 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 30 * time.Second
+}
+
+// handle serves one connection. Each accepted connection runs on its own
+// goroutine (see acceptLoop), so a slow or hung client never stalls the
+// accept loop or other clients.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
 
 	for {
+		// Rolling per-request deadline: covers reading the next command
+		// and writing its response.
+		_ = conn.SetDeadline(time.Now().Add(s.readTimeout()))
 		line, err := readLine(r)
 		if err != nil {
 			return

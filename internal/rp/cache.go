@@ -1,0 +1,121 @@
+package rp
+
+import (
+	"sync"
+
+	"repro/internal/cert"
+	"repro/internal/manifest"
+	"repro/internal/roa"
+)
+
+// objectCache is the relying party's persistent verification cache. It
+// memoizes, keyed by the SHA-256 of the object's bytes:
+//
+//   - parsed, CMS-signature-verified ROAs and manifests (cms.Parse verifies
+//     the envelope signature, so a hit skips that public-key operation);
+//   - parsed resource certificates and CRLs (DER decode only — their chain
+//     signatures are memoized separately, per issuer, in sigs);
+//
+// plus a cert.VerifyCache for chain and CRL signature checks, keyed by
+// (object hash, issuer SKI). Parse errors are cached too: they are pure
+// functions of the bytes. Everything time- or context-dependent — validity
+// windows, revocation, manifest staleness, resource containment — is
+// re-evaluated on every sync.
+//
+// Cached values are shared across Sync calls and goroutines; callers treat
+// them as immutable. Entries are single-flight: concurrent workers hitting
+// the same key block on one verification instead of duplicating it, which
+// also keeps the hit/miss counters exact at any worker count.
+type objectCache struct {
+	roas  memo[*roa.Signed]
+	mfts  memo[*manifest.Signed]
+	certs memo[*cert.ResourceCert]
+	crls  memo[*cert.CRL]
+	sigs  *cert.VerifyCache
+}
+
+func newObjectCache() *objectCache {
+	return &objectCache{
+		roas:  newMemo[*roa.Signed](),
+		mfts:  newMemo[*manifest.Signed](),
+		certs: newMemo[*cert.ResourceCert](),
+		crls:  newMemo[*cert.CRL](),
+		sigs:  cert.NewVerifyCache(),
+	}
+}
+
+// memo is a concurrency-safe, single-flight memoization table keyed by
+// content hash.
+type memo[T any] struct {
+	mu sync.RWMutex
+	m  map[[32]byte]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func newMemo[T any]() memo[T] {
+	return memo[T]{m: make(map[[32]byte]*memoEntry[T])}
+}
+
+// get returns the memoized result for hash, computing it with f exactly
+// once across all goroutines and Sync calls. The creator of an entry counts
+// a miss; every later lookup (even one that blocks on the in-flight
+// computation) counts a hit, so the counters are deterministic.
+func (mm *memo[T]) get(st *syncState, hash [32]byte, f func() (T, error)) (T, error) {
+	mm.mu.RLock()
+	e, ok := mm.m[hash]
+	mm.mu.RUnlock()
+	if !ok {
+		mm.mu.Lock()
+		e, ok = mm.m[hash]
+		if !ok {
+			e = &memoEntry[T]{}
+			mm.m[hash] = e
+		}
+		mm.mu.Unlock()
+	}
+	if ok {
+		st.cacheHits.Add(1)
+	} else {
+		st.cacheMisses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
+}
+
+// parseROA decodes and CMS-verifies a ROA, memoized. A nil cache parses
+// directly.
+func (c *objectCache) parseROA(st *syncState, hash [32]byte, raw []byte) (*roa.Signed, error) {
+	if c == nil {
+		return roa.ParseSigned(raw)
+	}
+	return c.roas.get(st, hash, func() (*roa.Signed, error) { return roa.ParseSigned(raw) })
+}
+
+// parseManifest decodes and CMS-verifies a manifest, memoized.
+func (c *objectCache) parseManifest(st *syncState, hash [32]byte, raw []byte) (*manifest.Signed, error) {
+	if c == nil {
+		return manifest.ParseSigned(raw)
+	}
+	return c.mfts.get(st, hash, func() (*manifest.Signed, error) { return manifest.ParseSigned(raw) })
+}
+
+// parseCert decodes a resource certificate, memoized.
+func (c *objectCache) parseCert(st *syncState, hash [32]byte, raw []byte) (*cert.ResourceCert, error) {
+	if c == nil {
+		return cert.Parse(raw)
+	}
+	return c.certs.get(st, hash, func() (*cert.ResourceCert, error) { return cert.Parse(raw) })
+}
+
+// parseCRL decodes a CRL, memoized.
+func (c *objectCache) parseCRL(st *syncState, hash [32]byte, raw []byte) (*cert.CRL, error) {
+	if c == nil {
+		return cert.ParseCRL(raw)
+	}
+	return c.crls.get(st, hash, func() (*cert.CRL, error) { return cert.ParseCRL(raw) })
+}

@@ -11,20 +11,32 @@
 // Invalid whenever another ROA covers it. The relying party therefore
 // reports rich diagnostics about incompleteness instead of failing —
 // mirroring the real protocol's silence.
+//
+// Validation runs as a concurrent pipeline, like deployed validators
+// (Routinator, rpki-client): sibling publication points are fetched in
+// parallel as the tree is discovered — a child CA found at one point
+// enqueues its publication point immediately, with no per-level barrier —
+// and within each point object hashing and certificate-chain validation fan
+// out across a bounded worker pool (Config.Workers). Results are
+// deterministic at any worker count: VRPs are sorted, diagnostics are
+// canonically ordered, and all counters are exact.
 package rp
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cert"
 	"repro/internal/ipres"
 	"repro/internal/manifest"
 	"repro/internal/repo"
-	"repro/internal/roa"
 	"repro/internal/rov"
 )
 
@@ -40,6 +52,8 @@ type TrustAnchor struct {
 // Fetcher retrieves the full contents of a publication point. *repo.Client
 // implements it over TCP; StoreFetcher implements it in-process; the
 // circular-dependency experiments implement it with reachability gating.
+// When the relying party runs with Workers > 1, FetchAll is called from
+// multiple goroutines concurrently and implementations must tolerate that.
 type Fetcher interface {
 	FetchAll(ctx context.Context, uri repo.URI) (map[string][]byte, error)
 }
@@ -153,15 +167,39 @@ type Config struct {
 	// CacheSnapshots keeps per-publication-point snapshots between Sync
 	// calls and uses the Fetcher's incremental mode when available.
 	CacheSnapshots bool
+	// Workers bounds the validation worker pool: sibling publication
+	// points are fetched concurrently and object hashing/chain validation
+	// fans out across this many goroutines. 0 means runtime.GOMAXPROCS(0);
+	// 1 is the sequential baseline. Results are identical at any setting.
+	Workers int
+	// DisableVerifyCache turns off the persistent verification cache that
+	// lets repeated Sync calls skip re-verifying CMS envelopes and
+	// certificate-chain signatures for unchanged objects. The cache is
+	// keyed by object content hash (plus issuer SKI for chain checks), so
+	// republished objects never return stale verdicts; time, revocation
+	// and resource-containment checks are always re-evaluated.
+	DisableVerifyCache bool
 }
 
-// RelyingParty validates RPKI hierarchies into VRP sets.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RelyingParty validates RPKI hierarchies into VRP sets. It is safe for use
+// from one goroutine at a time; a single Sync call parallelizes internally.
 type RelyingParty struct {
 	cfg     Config
 	anchors []TrustAnchor
-	// snapshots caches module contents across Sync calls when
-	// CacheSnapshots is enabled.
+	// snapMu guards snapshots: per-module contents cached across Sync
+	// calls when CacheSnapshots is enabled.
+	snapMu    sync.Mutex
 	snapshots map[string]map[string][]byte
+	// cache persists verification verdicts across Sync calls (nil when
+	// disabled).
+	cache *objectCache
 }
 
 // New creates a relying party over the given trust anchors.
@@ -169,11 +207,15 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 32
 	}
-	return &RelyingParty{
+	rp := &RelyingParty{
 		cfg:       cfg,
 		anchors:   anchors,
 		snapshots: make(map[string]map[string][]byte),
 	}
+	if !cfg.DisableVerifyCache {
+		rp.cache = newObjectCache()
+	}
+	return rp
 }
 
 func (rp *RelyingParty) now() time.Time {
@@ -187,7 +229,8 @@ func (rp *RelyingParty) now() time.Time {
 type Result struct {
 	// VRPs is the validated cache of ROA payloads.
 	VRPs []rov.VRP
-	// Diagnostics lists every problem encountered.
+	// Diagnostics lists every problem encountered, in canonical order
+	// (module, object, kind, message) regardless of worker count.
 	Diagnostics []Diagnostic
 	// PubPointsVisited counts publication points fetched (or attempted).
 	PubPointsVisited int
@@ -198,6 +241,11 @@ type Result struct {
 	// ObjectsDownloaded and ObjectsReused count transfer work when the
 	// relying party runs in incremental mode (zero otherwise).
 	ObjectsDownloaded, ObjectsReused int
+	// VerifyCacheHits and VerifyCacheMisses count lookups in the
+	// persistent verification cache during this sync (both zero when the
+	// cache is disabled). A warm re-sync of an unchanged world shows all
+	// hits: no CMS or certificate signature is re-verified.
+	VerifyCacheHits, VerifyCacheMisses int
 }
 
 // Incomplete reports whether the relying party has any reason to believe
@@ -219,6 +267,12 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 	}
 	res := &Result{}
 	now := rp.now()
+	st := &syncState{
+		rp:  rp,
+		ctx: ctx,
+		res: res,
+		sem: make(chan struct{}, rp.cfg.workers()),
+	}
 	for _, ta := range rp.anchors {
 		anchor, err := cert.Parse(ta.CertDER)
 		if err != nil {
@@ -231,9 +285,14 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 			continue
 		}
 		res.CertsAccepted++
-		rp.walk(ctx, res, anchor, resources, ta.URI, rp.cfg.MaxDepth)
+		uri := ta.URI
+		st.spawn(func() { st.walk(anchor, resources, uri, rp.cfg.MaxDepth) })
 	}
+	st.wg.Wait()
 	sortVRPs(res.VRPs)
+	sortDiagnostics(res.Diagnostics)
+	res.VerifyCacheHits = int(st.cacheHits.Load())
+	res.VerifyCacheMisses = int(st.cacheMisses.Load())
 	return res, nil
 }
 
@@ -249,165 +308,314 @@ func sortVRPs(vrps []rov.VRP) {
 	})
 }
 
-// walk validates one authority's publication point and recurses into child
-// authorities.
-func (rp *RelyingParty) walk(ctx context.Context, res *Result, authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int) {
+// sortDiagnostics puts diagnostics into canonical order so the result is
+// byte-for-byte reproducible regardless of goroutine scheduling.
+func sortDiagnostics(diags []Diagnostic) {
+	errText := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Module != diags[j].Module {
+			return diags[i].Module < diags[j].Module
+		}
+		if diags[i].Object != diags[j].Object {
+			return diags[i].Object < diags[j].Object
+		}
+		if diags[i].Kind != diags[j].Kind {
+			return diags[i].Kind < diags[j].Kind
+		}
+		return errText(diags[i].Err) < errText(diags[j].Err)
+	})
+}
+
+// syncState is the shared state of one Sync pass: the accumulating result,
+// the worker-slot semaphore bounding CPU-heavy work, and the WaitGroup
+// tracking every outstanding publication-point walk and object task.
+type syncState struct {
+	rp  *RelyingParty
+	ctx context.Context
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex // guards res
+	res *Result
+
+	cacheHits, cacheMisses atomic.Int64
+}
+
+// spawn tracks f with the WaitGroup and runs it on its own goroutine.
+// Structural goroutines (walks, object tasks) never hold a worker slot while
+// blocked, so spawning from inside a slot cannot deadlock.
+func (st *syncState) spawn(f func()) {
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		f()
+	}()
+}
+
+// run executes f under a worker slot; CPU-heavy work (hashing, parsing,
+// signature verification) goes through here so at most Workers of it runs
+// at once. f must not block on the semaphore or the WaitGroup.
+func (st *syncState) run(f func()) {
+	st.sem <- struct{}{}
+	f()
+	<-st.sem
+}
+
+func (st *syncState) diag(kind DiagKind, module, object string, err error) {
+	st.mu.Lock()
+	st.res.diag(kind, module, object, err)
+	st.mu.Unlock()
+}
+
+// walk validates one authority's publication point, fanning its objects out
+// across the worker pool, and spawns child-authority walks as soon as each
+// child certificate validates.
+func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int) {
 	if depth <= 0 {
-		res.diag(DiagInvalidObject, uri.Module, "", fmt.Errorf("hierarchy too deep"))
+		st.diag(DiagInvalidObject, uri.Module, "", fmt.Errorf("hierarchy too deep"))
 		return
 	}
-	res.PubPointsVisited++
-	files, err := rp.fetch(ctx, res, uri)
+	st.mu.Lock()
+	st.res.PubPointsVisited++
+	st.mu.Unlock()
+	files, err := st.rp.fetch(st.ctx, st, uri)
 	if err != nil && len(files) == 0 {
-		res.diag(DiagFetchFailure, uri.Module, "", err)
+		st.diag(DiagFetchFailure, uri.Module, "", err)
 		return
 	}
 	if err != nil {
-		res.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
+		st.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
 	}
-	now := rp.now()
+	now := st.rp.now()
 
-	// Locate and validate the manifest named by the authority's SIA.
-	mftName := manifestName(authority, uri)
-	var mft *manifest.Manifest
-	if raw, ok := files[mftName]; ok {
-		signed, err := manifest.ParseSigned(raw)
-		if err != nil {
-			res.diag(DiagInvalidObject, uri.Module, mftName, err)
-		} else if _, err := cert.ValidateChild(authority, effective, signed.EE, cert.ValidationContext{Now: now}); err != nil {
-			res.diag(DiagInvalidObject, uri.Module, mftName, err)
-		} else {
-			mft = signed.Manifest
-			if mft.Stale(now) {
-				res.diag(DiagStaleManifest, uri.Module, mftName, fmt.Errorf("nextUpdate %v", mft.NextUpdate))
-				if rp.cfg.RequireFreshManifest {
-					mft = nil
-				}
-			}
-		}
-	} else {
-		res.diag(DiagMissingManifest, uri.Module, mftName, fmt.Errorf("manifest absent"))
-	}
-	if mft == nil && rp.cfg.Policy == DropPublicationPoint {
-		res.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("no usable manifest"))
-		return
-	}
-
-	// Cross-check manifest against fetched files.
-	manifestOK := true
-	if mft != nil {
-		for _, name := range mft.Names() {
-			content, ok := files[name]
-			if !ok {
-				res.diag(DiagMissingObject, uri.Module, name, fmt.Errorf("listed on manifest, not served"))
-				manifestOK = false
-				continue
-			}
-			if err := mft.Verify(name, content); err != nil {
-				res.diag(DiagHashMismatch, uri.Module, name, err)
-				manifestOK = false
-			}
-		}
-	}
-	if !manifestOK && rp.cfg.Policy == DropPublicationPoint {
-		res.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("manifest inconsistency"))
-		return
-	}
-
-	// Load the CRL (best effort; nil CRL skips revocation checks).
-	var crl *cert.CRL
-	ctxV := cert.ValidationContext{Now: now}
-	for name, raw := range files {
-		if !strings.HasSuffix(name, ".crl") {
-			continue
-		}
-		parsed, err := cert.ParseCRL(raw)
-		if err != nil {
-			res.diag(DiagInvalidObject, uri.Module, name, err)
-			continue
-		}
-		if err := parsed.VerifySignature(authority); err != nil {
-			res.diag(DiagInvalidObject, uri.Module, name, err)
-			continue
-		}
-		crl = parsed
-	}
-	ctxV.CRL = crl
-
-	// Validate ROAs and recurse into child certificates, in name order for
-	// determinism.
+	// Hash every fetched object exactly once, in parallel chunks. The
+	// digests drive both the manifest cross-check and per-object admission
+	// below, and key the verification cache.
 	names := make([]string, 0, len(files))
 	for name := range files {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		raw := files[name]
-		if mft != nil {
-			if err := mft.Verify(name, raw); err != nil && name != mftName {
-				// Unlisted or mismatched object: reject it outright; a
-				// repository must not smuggle objects past its manifest.
-				res.diag(DiagHashMismatch, uri.Module, name, err)
-				continue
-			}
+	hashes := make(map[string][32]byte, len(names))
+	{
+		sums := make([][32]byte, len(names))
+		var hwg sync.WaitGroup
+		workers := cap(st.sem)
+		chunk := (len(names) + workers - 1) / workers
+		if chunk < 1 {
+			chunk = 1
 		}
-		switch {
-		case strings.HasSuffix(name, ".roa"):
-			signed, err := roa.ParseSigned(raw)
-			if err != nil {
-				res.diag(DiagInvalidObject, uri.Module, name, err)
-				continue
+		for start := 0; start < len(names); start += chunk {
+			end := start + chunk
+			if end > len(names) {
+				end = len(names)
 			}
-			if _, err := cert.ValidateChild(authority, effective, signed.EE, ctxV); err != nil {
-				res.diag(DiagInvalidObject, uri.Module, name, err)
-				continue
-			}
-			res.ROAsAccepted++
-			res.VRPs = append(res.VRPs, rov.FromROA(signed.ROA)...)
-
-		case strings.HasSuffix(name, ".cer"):
-			child, err := cert.Parse(raw)
-			if err != nil {
-				res.diag(DiagInvalidObject, uri.Module, name, err)
-				continue
-			}
-			if !child.IsCA() {
-				continue // EE certs are embedded in signed objects
-			}
-			if child.Cert.SubjectKeyId != nil && authority.Cert.SubjectKeyId != nil &&
-				string(child.Cert.SubjectKeyId) == string(authority.Cert.SubjectKeyId) {
-				continue // the authority's own certificate republished
-			}
-			childEffective, err := cert.ValidateChild(authority, effective, child, ctxV)
-			if err != nil {
-				res.diag(DiagInvalidObject, uri.Module, name, err)
-				continue
-			}
-			res.CertsAccepted++
-			childURI, _, err := repo.ParseURI(strings.TrimSuffix(child.SIA.CARepository, "/"))
-			if err != nil {
-				res.diag(DiagInvalidObject, uri.Module, name, fmt.Errorf("bad SIA: %w", err))
-				continue
-			}
-			rp.walk(ctx, res, child, childEffective, childURI, depth-1)
+			hwg.Add(1)
+			go func(lo, hi int) {
+				defer hwg.Done()
+				st.run(func() {
+					for i := lo; i < hi; i++ {
+						sums[i] = sha256.Sum256(files[names[i]])
+					}
+				})
+			}(start, end)
+		}
+		hwg.Wait()
+		for i, name := range names {
+			hashes[name] = sums[i]
 		}
 	}
+
+	// Locate and validate the manifest named by the authority's SIA.
+	mftName := manifestName(authority, uri)
+	var mft *manifest.Manifest
+	if raw, ok := files[mftName]; ok {
+		st.run(func() {
+			signed, err := st.rp.cache.parseManifest(st, hashes[mftName], raw)
+			if err != nil {
+				st.diag(DiagInvalidObject, uri.Module, mftName, err)
+			} else if _, err := cert.ValidateChild(authority, effective, signed.EE, st.vctx(now, nil)); err != nil {
+				st.diag(DiagInvalidObject, uri.Module, mftName, err)
+			} else {
+				mft = signed.Manifest
+				if mft.Stale(now) {
+					st.diag(DiagStaleManifest, uri.Module, mftName, fmt.Errorf("nextUpdate %v", mft.NextUpdate))
+					if st.rp.cfg.RequireFreshManifest {
+						mft = nil
+					}
+				}
+			}
+		})
+	} else {
+		st.diag(DiagMissingManifest, uri.Module, mftName, fmt.Errorf("manifest absent"))
+	}
+	if mft == nil && st.rp.cfg.Policy == DropPublicationPoint {
+		st.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("no usable manifest"))
+		return
+	}
+
+	// Cross-check the manifest against the fetched files, remembering each
+	// verdict so the admission loop below never re-hashes or re-diagnoses
+	// an object.
+	manifestOK := true
+	badObject := make(map[string]bool)
+	if mft != nil {
+		for _, name := range mft.Names() {
+			hash, ok := hashes[name]
+			if !ok {
+				st.diag(DiagMissingObject, uri.Module, name, fmt.Errorf("listed on manifest, not served"))
+				manifestOK = false
+				continue
+			}
+			if err := mft.VerifyHash(name, hash); err != nil {
+				st.diag(DiagHashMismatch, uri.Module, name, err)
+				badObject[name] = true
+				manifestOK = false
+			}
+		}
+	}
+	if !manifestOK && st.rp.cfg.Policy == DropPublicationPoint {
+		st.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("manifest inconsistency"))
+		return
+	}
+
+	// Load the CRL (best effort; nil CRL skips revocation checks). Sorted
+	// iteration makes the winner deterministic when several CRLs validate.
+	var crl *cert.CRL
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".crl") {
+			continue
+		}
+		raw := files[name]
+		st.run(func() {
+			parsed, err := st.rp.cache.parseCRL(st, hashes[name], raw)
+			if err != nil {
+				st.diag(DiagInvalidObject, uri.Module, name, err)
+				return
+			}
+			if err := st.rp.sigCache().VerifyCRL(authority, parsed); err != nil {
+				st.diag(DiagInvalidObject, uri.Module, name, err)
+				return
+			}
+			crl = parsed
+		})
+	}
+
+	// Validate ROAs and recurse into child certificates. Every object is
+	// an independent task on the worker pool; a validated child CA starts
+	// its own publication-point walk immediately.
+	for _, name := range names {
+		if badObject[name] {
+			continue // mismatch already diagnosed by the cross-check
+		}
+		name := name
+		st.spawn(func() {
+			st.run(func() {
+				st.processObject(authority, effective, uri, depth, now, crl, mft, mftName, name, files[name], hashes[name])
+			})
+		})
+	}
+}
+
+// processObject admits one fetched object: manifest admission, then ROA
+// validation or child-CA chain validation. Runs under a worker slot.
+func (st *syncState) processObject(authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int, now time.Time, crl *cert.CRL, mft *manifest.Manifest, mftName, name string, raw []byte, hash [32]byte) {
+	if mft != nil && name != mftName {
+		if err := mft.VerifyHash(name, hash); err != nil {
+			// Unlisted object: reject it outright; a repository must not
+			// smuggle objects past its manifest.
+			st.diag(DiagHashMismatch, uri.Module, name, err)
+			return
+		}
+	}
+	ctxV := st.vctx(now, crl)
+	switch {
+	case strings.HasSuffix(name, ".roa"):
+		signed, err := st.rp.cache.parseROA(st, hash, raw)
+		if err != nil {
+			st.diag(DiagInvalidObject, uri.Module, name, err)
+			return
+		}
+		if _, err := cert.ValidateChild(authority, effective, signed.EE, ctxV); err != nil {
+			st.diag(DiagInvalidObject, uri.Module, name, err)
+			return
+		}
+		vrps := rov.FromROA(signed.ROA)
+		st.mu.Lock()
+		st.res.ROAsAccepted++
+		st.res.VRPs = append(st.res.VRPs, vrps...)
+		st.mu.Unlock()
+
+	case strings.HasSuffix(name, ".cer"):
+		child, err := st.rp.cache.parseCert(st, hash, raw)
+		if err != nil {
+			st.diag(DiagInvalidObject, uri.Module, name, err)
+			return
+		}
+		if !child.IsCA() {
+			return // EE certs are embedded in signed objects
+		}
+		if child.Cert.SubjectKeyId != nil && authority.Cert.SubjectKeyId != nil &&
+			string(child.Cert.SubjectKeyId) == string(authority.Cert.SubjectKeyId) {
+			return // the authority's own certificate republished
+		}
+		childEffective, err := cert.ValidateChild(authority, effective, child, ctxV)
+		if err != nil {
+			st.diag(DiagInvalidObject, uri.Module, name, err)
+			return
+		}
+		st.mu.Lock()
+		st.res.CertsAccepted++
+		st.mu.Unlock()
+		childURI, _, err := repo.ParseURI(strings.TrimSuffix(child.SIA.CARepository, "/"))
+		if err != nil {
+			st.diag(DiagInvalidObject, uri.Module, name, fmt.Errorf("bad SIA: %w", err))
+			return
+		}
+		st.spawn(func() { st.walk(child, childEffective, childURI, depth-1) })
+	}
+}
+
+// vctx builds a chain-validation context wired to the signature cache.
+func (st *syncState) vctx(now time.Time, crl *cert.CRL) cert.ValidationContext {
+	return cert.ValidationContext{Now: now, CRL: crl, Cache: st.rp.sigCache()}
+}
+
+// sigCache returns the persistent signature-verification cache (nil when
+// caching is disabled — the cert package treats a nil cache as a no-op).
+func (rp *RelyingParty) sigCache() *cert.VerifyCache {
+	if rp.cache == nil {
+		return nil
+	}
+	return rp.cache.sigs
 }
 
 // fetch retrieves a publication point, using the fetcher's incremental
 // mode when snapshot caching is enabled and supported.
-func (rp *RelyingParty) fetch(ctx context.Context, res *Result, uri repo.URI) (map[string][]byte, error) {
+func (rp *RelyingParty) fetch(ctx context.Context, st *syncState, uri repo.URI) (map[string][]byte, error) {
 	inc, ok := rp.cfg.Fetcher.(IncrementalFetcher)
 	if !rp.cfg.CacheSnapshots || !ok {
 		return rp.cfg.Fetcher.FetchAll(ctx, uri)
 	}
-	sync, err := inc.SyncIncremental(ctx, uri, rp.snapshots[uri.Module])
+	rp.snapMu.Lock()
+	prev := rp.snapshots[uri.Module]
+	rp.snapMu.Unlock()
+	sync, err := inc.SyncIncremental(ctx, uri, prev)
 	if err != nil {
 		return nil, err
 	}
+	rp.snapMu.Lock()
 	rp.snapshots[uri.Module] = sync.Files
-	res.ObjectsDownloaded += sync.Downloaded
-	res.ObjectsReused += sync.Reused
+	rp.snapMu.Unlock()
+	st.mu.Lock()
+	st.res.ObjectsDownloaded += sync.Downloaded
+	st.res.ObjectsReused += sync.Reused
+	st.mu.Unlock()
 	return sync.Files, nil
 }
 
