@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rpki-experiments [-run all|figure1|figure2|figure3|table4|figure5|table6|se12|se34|se6|se7] [-list]
+//	rpki-experiments [-run all|figure1|figure2|figure3|table4|figure5|table6|se12|se34|se6|se7|ext-suspenders|ext-lkg|ext-collateral|ext-monitor] [-list]
 //
 // Each experiment prints its artifact (the table or figure content), the
 // measured metrics, and the shape checks asserting the paper's qualitative

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
+//	        [-max-retries N] [-request-timeout D] [-stale-ttl D] [-breaker-threshold N] [-breaker-cooldown D]
+//
+// The resilience flags tune how the daemon degrades under misbehaving
+// repositories: transport failures retry with backoff (-max-retries), each
+// request carries its own deadline (-request-timeout) so a slow-loris point
+// cannot stall a sync, repeated failures trip a per-point circuit breaker
+// (-breaker-threshold/-breaker-cooldown), and unreachable points are served
+// from their last cleanly validated snapshot for up to -stale-ttl.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"time"
 
 	rpkirisk "repro"
+	"repro/internal/repo"
 	"repro/internal/rp"
 )
 
@@ -29,6 +38,11 @@ func main() {
 	policy := flag.String("policy", "best-effort", "missing-information policy: best-effort or drop-pubpoint")
 	interval := flag.Duration("interval", 0, "resync interval (0: sync once and exit unless -rtr)")
 	workers := flag.Int("workers", 0, "validation workers (0: GOMAXPROCS, 1: sequential)")
+	maxRetries := flag.Int("max-retries", 3, "transport-failure retries per request (0: fail on first fault)")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (one LIST/GET/STAT exchange)")
+	staleTTL := flag.Duration("stale-ttl", time.Hour, "serve an unreachable point's last-known-good snapshot up to this age (0: disabled)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a point's circuit breaker (0: no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker refuses requests before probing")
 	flag.Parse()
 
 	anchor, err := rpkirisk.ReadTAL(*talPath)
@@ -45,15 +59,23 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	client := rpkirisk.ClientFor(*server, 10*time.Second)
+	client := rpkirisk.ClientFor(*server, *requestTimeout)
 	client.Concurrency = *workers
 	if client.Concurrency == 0 {
 		client.Concurrency = runtime.GOMAXPROCS(0)
 	}
+	client.Retry = repo.RetryPolicy{MaxRetries: *maxRetries}
+	if *breakerThreshold > 0 {
+		client.Breakers = repo.NewBreakerSet(repo.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+		})
+	}
 	relying := rp.New(rp.Config{
-		Fetcher: client,
-		Policy:  missing,
-		Workers: *workers,
+		Fetcher:  client,
+		Policy:   missing,
+		Workers:  *workers,
+		StaleTTL: *staleTTL,
 	}, anchor)
 
 	sync := func() *rp.Result {
@@ -62,6 +84,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("synced: %d CAs, %d ROAs, %d VRPs", result.CertsAccepted, result.ROAsAccepted, len(result.VRPs))
+		if result.Retries > 0 || result.BreakerTrips > 0 || result.StaleFallbacks > 0 {
+			fmt.Printf(" (retries %d, breaker trips %d, stale fallbacks %d)", result.Retries, result.BreakerTrips, result.StaleFallbacks)
+		}
 		if result.Incomplete() {
 			fmt.Printf(" — CACHE INCOMPLETE (%d diagnostics)\n", len(result.Diagnostics))
 			for _, d := range result.Diagnostics {

@@ -220,6 +220,19 @@ type CircularSim struct {
 	// before it takes effect — the hook for fail-safe layers such as
 	// internal/suspenders.
 	PostSync func(vrps []rov.VRP) []rov.VRP
+	// StaleTTL, when positive, enables the relying party's last-known-good
+	// fallback across steps: a publication point gated off by its own route
+	// (the Side Effect 7 circularity) is served from its last cleanly
+	// validated snapshot for at most StaleTTL, so a transient fault no
+	// longer latches permanently. 0 keeps the brittle paper behavior.
+	StaleTTL time.Duration
+
+	// relying is the persistent relying party driving every step (created on
+	// the first Step). Persistence is what lets the LKG store survive from
+	// one sync to the next.
+	relying *rp.RelyingParty
+	// report is the CURRENT step's report, written by the gated fetcher.
+	report *StepReport
 
 	// lastVRPs is the validated cache from the previous step; it
 	// determines reachability during the CURRENT step.
@@ -240,6 +253,9 @@ type StepReport struct {
 	Unreachable []string
 	// VRPCount is the size of the validated cache after the step.
 	VRPCount int
+	// StaleFallbacks counts publication points served from the relying
+	// party's last-known-good store this step (always 0 with StaleTTL 0).
+	StaleFallbacks int
 	// Diagnostics carries the RP's diagnostics.
 	Diagnostics []rp.Diagnostic
 }
@@ -257,10 +273,10 @@ func (s *CircularSim) ManualOverride(module string, on bool) {
 func (s *CircularSim) VRPs() []rov.VRP { return s.lastVRPs }
 
 // gatedFetcher blocks fetches to modules whose route the relying party's
-// router cannot currently use.
+// router cannot currently use. It records unreachable modules on the sim's
+// current step report (safe: the sim pins Workers to 1).
 type gatedFetcher struct {
-	sim    *CircularSim
-	report *StepReport
+	sim *CircularSim
 }
 
 // FetchAll implements rp.Fetcher.
@@ -272,7 +288,7 @@ func (g gatedFetcher) FetchAll(ctx context.Context, uri repo.URI) (map[string][]
 			return nil, err
 		}
 		if !ok {
-			g.report.Unreachable = append(g.report.Unreachable, uri.Module)
+			g.sim.report.Unreachable = append(g.sim.report.Unreachable, uri.Module)
 			return nil, fmt.Errorf("core: repository %s at %v unreachable (no usable route)", uri.Module, site.Addr)
 		}
 	}
@@ -294,17 +310,23 @@ func (s *CircularSim) Step(ctx context.Context) (*StepReport, error) {
 	if err := s.Network.Converge(); err != nil {
 		return nil, err
 	}
-	// Workers is pinned to 1: the gated fetcher consults the BGP network
-	// and records unreachable modules on the step report, neither of which
-	// is synchronized for concurrent fetches — and the timeline experiment
-	// models one sequential sync per tick anyway.
-	relying := rp.New(rp.Config{
-		Fetcher: gatedFetcher{sim: s, report: report},
-		Clock:   s.Clock,
-		Policy:  s.Policy,
-		Workers: 1,
-	}, s.Anchors...)
-	result, err := relying.Sync(ctx)
+	// The relying party persists across steps — required for the
+	// last-known-good store (and the verification cache) to carry state from
+	// one sync to the next. Workers is pinned to 1: the gated fetcher
+	// consults the BGP network and records unreachable modules on the step
+	// report, neither of which is synchronized for concurrent fetches — and
+	// the timeline experiment models one sequential sync per tick anyway.
+	if s.relying == nil {
+		s.relying = rp.New(rp.Config{
+			Fetcher:  gatedFetcher{sim: s},
+			Clock:    s.Clock,
+			Policy:   s.Policy,
+			Workers:  1,
+			StaleTTL: s.StaleTTL,
+		}, s.Anchors...)
+	}
+	s.report = report
+	result, err := s.relying.Sync(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +338,7 @@ func (s *CircularSim) Step(ctx context.Context) (*StepReport, error) {
 	}
 	s.lastVRPs = vrps
 	report.VRPCount = len(s.lastVRPs)
+	report.StaleFallbacks = result.StaleFallbacks
 	report.Diagnostics = result.Diagnostics
 	// The new cache takes effect for the data plane going forward.
 	s.Network.SetSharedIndex(rov.NewIndex(s.lastVRPs...))

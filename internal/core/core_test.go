@@ -632,3 +632,87 @@ func TestPlanDeepWhackDepthThree(t *testing.T) {
 		t.Errorf("ETB = %v, want valid", got)
 	}
 }
+
+func TestCircularSimLKGBreaksFaultLatch(t *testing.T) {
+	// The Side Effect 7 timeline again, but the relying party keeps
+	// last-known-good snapshots: when the healed repository is gated off by
+	// its own invalid route, the stale snapshot revalidates the route and
+	// the loop self-heals — no manual override needed.
+	_, sim, corrupting := buildCircularWorld(t)
+	step := 0
+	sim.Clock = func() time.Time { return testEpoch.Add(time.Duration(step) * 10 * time.Minute) }
+	sim.StaleTTL = time.Hour
+	ctx := context.Background()
+	advance := func() *StepReport {
+		t.Helper()
+		rep, err := sim.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step++
+		return rep
+	}
+
+	advance() // bootstrap: clean snapshot committed
+	corrupting.Corrupt("continental", "cont-20.roa")
+	advance()
+	if s, _ := sim.RouteState("continental"); s != rov.Invalid {
+		t.Fatalf("after corruption, route = %v, want invalid", s)
+	}
+
+	// Fault fixed, repository unreachable — LKG bridges the gap with the
+	// PRE-corruption snapshot (the dirty sync never overwrote it).
+	corrupting.Heal("continental")
+	rep := advance()
+	if len(rep.Unreachable) != 1 || rep.Unreachable[0] != "continental" {
+		t.Fatalf("repo should be unreachable this step, got %v", rep.Unreachable)
+	}
+	if rep.StaleFallbacks != 1 {
+		t.Fatalf("StaleFallbacks = %d, want 1 (diags %v)", rep.StaleFallbacks, rep.Diagnostics)
+	}
+	if s, _ := sim.RouteState("continental"); s != rov.Valid {
+		t.Fatalf("LKG should revalidate the route, got %v", s)
+	}
+
+	// With the route valid again the repository is reachable: the next sync
+	// fetches fresh data and the system is fully recovered.
+	rep = advance()
+	if len(rep.Unreachable) != 0 || rep.StaleFallbacks != 0 {
+		t.Fatalf("recovered step: unreachable=%v fallbacks=%d", rep.Unreachable, rep.StaleFallbacks)
+	}
+	if s, _ := sim.RouteState("continental"); s != rov.Valid {
+		t.Fatalf("recovery should hold, got %v", s)
+	}
+}
+
+func TestCircularSimLKGBoundedStaleness(t *testing.T) {
+	// A TTL shorter than the outage: the snapshot expires mid-latch and the
+	// failure persists — bounded staleness means LKG is a bridge, not a
+	// permanent override (a coerced-offline authority cannot pin the cache).
+	_, sim, corrupting := buildCircularWorld(t)
+	step := 0
+	sim.Clock = func() time.Time { return testEpoch.Add(time.Duration(step) * 10 * time.Minute) }
+	sim.StaleTTL = 5 * time.Minute
+	ctx := context.Background()
+	advance := func() *StepReport {
+		t.Helper()
+		rep, err := sim.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step++
+		return rep
+	}
+
+	advance()
+	corrupting.Corrupt("continental", "cont-20.roa")
+	advance()
+	corrupting.Heal("continental")
+	rep := advance() // snapshot is 20 minutes old > 5 minute TTL
+	if rep.StaleFallbacks != 0 {
+		t.Fatalf("expired snapshot must not serve, fallbacks = %d", rep.StaleFallbacks)
+	}
+	if s, _ := sim.RouteState("continental"); s == rov.Valid {
+		t.Fatal("with an expired snapshot the latch should persist")
+	}
+}

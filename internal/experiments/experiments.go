@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"se6", "Side Effect 6: a missing ROA invalidates a route", SideEffect6},
 		{"se7", "Side Effect 7: transient faults cause long-term failures", SideEffect7},
 		{"ext-suspenders", "Ablation: Suspenders-style grace cache vs Side Effect 7", ExtSuspenders},
+		{"ext-lkg", "Ablation: last-known-good fallback vs Side Effect 7", ExtLKG},
 		{"ext-collateral", "Extension: collateral-damage distribution at scale", ExtCollateral},
 		{"ext-monitor", "Extension: monitor precision under benign churn", ExtMonitor},
 	}

@@ -122,6 +122,118 @@ func ExtSuspenders() (*Result, error) {
 	return r, nil
 }
 
+// ExtLKG is the resilience ablation for this repository's own fail-safe: it
+// reruns the Side Effect 7 timeline with the relying party's last-known-good
+// fallback at three settings. TTL 0 reproduces the paper's latch; a generous
+// TTL lets the relying party serve the pre-fault snapshot while its
+// repository is gated off, breaking the circular dependency without manual
+// intervention; a TTL shorter than the outage shows the staleness bound
+// doing its job — a dead repository cannot pin the validated cache forever.
+func ExtLKG() (*Result, error) {
+	r := &Result{ID: "ext-lkg", Title: "Ablation: last-known-good fallback vs Side Effect 7"}
+
+	run := func(ttl time.Duration) (healed bool, fallbacks int, timeline []string, err error) {
+		w, err := modelgen.Figure2(Clock, true)
+		if err != nil {
+			return false, 0, nil, err
+		}
+		n := bgp.NewNetwork()
+		for _, asn := range []ipres.ASN{64999, 3356, 17054} {
+			n.AddAS(asn, bgp.PolicyDropInvalid)
+		}
+		steps := []error{
+			n.ProviderOf(3356, 64999),
+			n.ProviderOf(3356, 17054),
+			n.Originate(17054, ipres.MustParsePrefix("63.174.16.0/20")),
+		}
+		for _, err := range steps {
+			if err != nil {
+				return false, 0, nil, err
+			}
+		}
+		corrupting := core.NewCorruptingFetcher(w.Stores)
+		// One simulator step = ten minutes of wall time; the relying
+		// party's clock (and with it LKG snapshot ages) advances in step.
+		step := 0
+		sim := &core.CircularSim{
+			Anchors: []rp.TrustAnchor{w.Anchor()},
+			Fetch:   corrupting,
+			Sites: map[string]core.RepoSite{
+				"continental": {
+					Module:      "continental",
+					Addr:        ipres.MustParseAddr("63.174.23.0"),
+					RoutePrefix: ipres.MustParsePrefix("63.174.16.0/20"),
+					OriginAS:    17054,
+				},
+			},
+			Network:  n,
+			RPAS:     64999,
+			Clock:    func() time.Time { return Epoch.Add(time.Duration(step) * 10 * time.Minute) },
+			StaleTTL: ttl,
+		}
+		ctx := context.Background()
+		advance := func(label string) error {
+			rep, err := sim.Step(ctx)
+			if err != nil {
+				return err
+			}
+			fallbacks += rep.StaleFallbacks
+			s, _ := sim.RouteState("continental")
+			timeline = append(timeline, fmt.Sprintf("  %-24s route=%-8v unreachable=%v fallbacks=%d",
+				label, s, rep.Unreachable, rep.StaleFallbacks))
+			step++
+			return nil
+		}
+		if err := advance("t0 bootstrap"); err != nil {
+			return false, 0, nil, err
+		}
+		corrupting.Corrupt("continental", "cont-20.roa")
+		if err := advance("t1 corruption"); err != nil {
+			return false, 0, nil, err
+		}
+		corrupting.Heal("continental")
+		if err := advance("t2 fault fixed"); err != nil {
+			return false, 0, nil, err
+		}
+		if err := advance("t3 next sync"); err != nil {
+			return false, 0, nil, err
+		}
+		s, _ := sim.RouteState("continental")
+		return s == rov.Valid, fallbacks, timeline, nil
+	}
+
+	healedPlain, _, plainTimeline, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	healedLKG, fallbacksLKG, lkgTimeline, err := run(time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	healedShort, _, shortTimeline, err := run(5 * time.Minute)
+	if err != nil {
+		return nil, err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("without LKG (stale-ttl 0):\n")
+	sb.WriteString(strings.Join(plainTimeline, "\n"))
+	sb.WriteString("\nwith LKG (stale-ttl 1h; outage ≈ 20 min):\n")
+	sb.WriteString(strings.Join(lkgTimeline, "\n"))
+	sb.WriteString("\nwith LKG (stale-ttl 5 min < outage):\n")
+	sb.WriteString(strings.Join(shortTimeline, "\n"))
+	sb.WriteString("\n")
+	r.Text = sb.String()
+
+	r.metric("lkg_fallback_syncs", float64(fallbacksLKG))
+	r.check("plain_rp_latches", !healedPlain, "without fallback the transient fault persists")
+	r.check("lkg_self_heals", healedLKG && fallbacksLKG >= 1,
+		"the stale snapshot bridges the unreachable window (%d fallback syncs)", fallbacksLKG)
+	r.check("ttl_bounds_staleness", !healedShort,
+		"a snapshot older than the TTL is retired, not served forever")
+	return r, nil
+}
+
 // ExtCollateral measures collateral damage and detectability of whack
 // methods at scale on a synthetic deployment: for every leaf ROA, the blunt
 // revocation cost against the surgical plan's footprint — the quantitative

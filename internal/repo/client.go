@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,14 +13,26 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Client fetches publication-point contents over the rsynclite protocol.
-// The zero Client uses sane defaults.
+// The zero Client uses sane defaults: 10s per request, no retries, no
+// circuit breaking — one transport fault fails the affected operation, as a
+// maximally brittle relying party would experience it. Production relying
+// parties set Retry and Breakers so that flaky repositories converge and
+// dead ones fail fast (see internal/rp for the last-known-good layer above).
 type Client struct {
-	// Timeout bounds a whole fetch operation (default 10s).
+	// Timeout bounds each request/response exchange — one LIST, GET or
+	// STAT, including the dial for its connection (default 10s). It is a
+	// per-request deadline, so one slow object can no longer starve the
+	// rest of a fetch; FetchAll and SyncIncremental layer SyncTimeout on
+	// top.
 	Timeout time.Duration
+	// SyncTimeout bounds a whole FetchAll or SyncIncremental call,
+	// retries included (default 10× Timeout).
+	SyncTimeout time.Duration
 	// Dial overrides the dialer; used by the circular-dependency
 	// experiments to make reachability depend on BGP route validity.
 	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
@@ -28,6 +41,39 @@ type Client struct {
 	// shard of objects — the per-object cost is one pipelined
 	// request/response, not a dial. Results are merged deterministically.
 	Concurrency int
+	// Retry governs per-request retries of transport failures.
+	Retry RetryPolicy
+	// Breakers, when set, fail requests to tripped publication points fast
+	// instead of dialing into a dead or slow-loris repository. May be
+	// shared between Clients.
+	Breakers *BreakerSet
+
+	// retries counts request attempts that were retried after a transport
+	// failure (exact; exposed via Stats).
+	retries atomic.Int64
+}
+
+// DegradationStats counts the resilience events a Client has observed since
+// creation; deltas across a sync give exact per-sync counters.
+type DegradationStats struct {
+	// Retries counts request attempts repeated after a transport failure.
+	Retries int64
+	// BreakerTrips counts circuit-breaker transitions to open.
+	BreakerTrips int64
+	// BreakerFastFails counts requests refused while a breaker was open.
+	BreakerFastFails int64
+}
+
+// Stats snapshots the client's degradation counters.
+func (c *Client) Stats() DegradationStats {
+	if c == nil {
+		return DegradationStats{}
+	}
+	return DegradationStats{
+		Retries:          c.retries.Load(),
+		BreakerTrips:     c.Breakers.Trips(),
+		BreakerFastFails: c.Breakers.FastFails(),
+	}
 }
 
 func (c *Client) concurrency() int {
@@ -44,6 +90,13 @@ func (c *Client) timeout() time.Duration {
 	return c.Timeout
 }
 
+func (c *Client) syncTimeout() time.Duration {
+	if c == nil || c.SyncTimeout == 0 {
+		return 10 * c.timeout()
+	}
+	return c.SyncTimeout
+}
+
 func (c *Client) dial(ctx context.Context, addr string) (net.Conn, error) {
 	if c != nil && c.Dial != nil {
 		return c.Dial(ctx, "tcp", addr)
@@ -52,20 +105,122 @@ func (c *Client) dial(ctx context.Context, addr string) (net.Conn, error) {
 	return d.DialContext(ctx, "tcp", addr)
 }
 
-// List returns the object names and sizes available in the module.
-func (c *Client) List(ctx context.Context, uri URI) (map[string]int, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+// pointConn is one reusable connection to a publication point, with
+// per-request deadlines, breaker gating at (re)dial, and retry with
+// exponential backoff on transport failures. Context cancellation closes the
+// live connection immediately, so a sync aborts promptly even mid-read.
+type pointConn struct {
+	c    *Client
+	uri  URI
+	conn net.Conn
+	r    *bufio.Reader
+	stop func() bool // cancels the ctx→Close watcher
+}
+
+func (pc *pointConn) key() string { return pc.uri.String() }
+
+// ensure dials the point if no connection is live. The circuit breaker is
+// consulted here: every transport failure drops the connection, so gating
+// redials gates exactly the failure paths.
+func (pc *pointConn) ensure(ctx context.Context) error {
+	if pc.conn != nil {
+		return nil
+	}
+	if err := pc.c.Breakers.Allow(pc.key()); err != nil {
+		return err
+	}
+	dctx, cancel := context.WithTimeout(ctx, pc.c.timeout())
 	defer cancel()
-	conn, err := c.dial(ctx, uri.Host)
+	conn, err := pc.c.dial(dctx, pc.uri.Host)
 	if err != nil {
-		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
+		pc.c.Breakers.Failure(pc.key())
+		return fmt.Errorf("repo: dial %s: %w", pc.uri.Host, err)
 	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
+	pc.conn = conn
+	pc.r = bufio.NewReader(conn)
+	// A canceled context must interrupt a blocked read, not wait out the
+	// per-request deadline.
+	pc.stop = context.AfterFunc(ctx, func() { _ = conn.Close() })
+	return nil
+}
+
+// arm sets the per-request deadline on the live connection: Timeout from
+// now, clipped to the context's overall deadline.
+func (pc *pointConn) arm(ctx context.Context) {
+	d := time.Now().Add(pc.c.timeout())
+	if dl, ok := ctx.Deadline(); ok && dl.Before(d) {
+		d = dl
 	}
-	r := bufio.NewReader(conn)
-	if err := writeLine(conn, "LIST %s", uri.Module); err != nil {
+	_ = pc.conn.SetDeadline(d)
+}
+
+// drop closes and forgets the connection.
+func (pc *pointConn) drop() {
+	if pc.stop != nil {
+		pc.stop()
+		pc.stop = nil
+	}
+	if pc.conn != nil {
+		_ = pc.conn.Close()
+		pc.conn = nil
+		pc.r = nil
+	}
+}
+
+// request runs one request/response exchange: op is invoked with a live,
+// deadline-armed connection. Transport failures drop the connection, count
+// against the breaker and retry with backoff up to Retry.MaxRetries;
+// protocol rejections (permanent errors) keep the connection and return
+// immediately — the server answered.
+func (pc *pointConn) request(ctx context.Context, op func() error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err := pc.ensure(ctx)
+		if err == nil {
+			pc.arm(ctx)
+			err = op()
+			if err == nil {
+				pc.c.Breakers.Success(pc.key())
+				return nil
+			}
+			if !Retryable(err) {
+				// The exchange completed; the server is alive and said no.
+				pc.c.Breakers.Success(pc.key())
+				return err
+			}
+			pc.c.Breakers.Failure(pc.key())
+			pc.drop()
+		} else if !Retryable(err) {
+			// Circuit open (or context dead): fail fast, no backoff.
+			return err
+		}
+		lastErr = err
+		if attempt >= pc.c.retryPolicy().MaxRetries {
+			return lastErr
+		}
+		pc.c.retries.Add(1)
+		if werr := pc.c.retryPolicy().wait(ctx, attempt); werr != nil {
+			return lastErr
+		}
+	}
+}
+
+func (c *Client) retryPolicy() RetryPolicy {
+	if c == nil {
+		return RetryPolicy{}
+	}
+	return c.Retry
+}
+
+// listOnce performs one LIST exchange on a live connection.
+func listOnce(conn net.Conn, r *bufio.Reader, module string) (map[string]int, error) {
+	if err := writeLine(conn, "LIST %s", module); err != nil {
 		return nil, fmt.Errorf("repo: sending LIST: %w", err)
 	}
 	header, err := readLine(r)
@@ -84,34 +239,19 @@ func (c *Client) List(ctx context.Context, uri URI) (map[string]int, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("repo: malformed LIST entry %q", line)
+			return nil, permanent(fmt.Errorf("repo: malformed LIST entry %q", line))
 		}
 		size, err := strconv.Atoi(fields[1])
 		if err != nil || size < 0 || size > MaxObjectSize {
-			return nil, fmt.Errorf("repo: bad size in LIST entry %q", line)
+			return nil, permanent(fmt.Errorf("repo: bad size in LIST entry %q", line))
 		}
 		out[fields[0]] = size
 	}
 	return out, nil
 }
 
-// Get fetches one object from the module.
-func (c *Client) Get(ctx context.Context, uri URI, name string) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
-	defer cancel()
-	conn, err := c.dial(ctx, uri.Host)
-	if err != nil {
-		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
-	}
-	return getOne(conn, uri.Module, name)
-}
-
-func getOne(conn net.Conn, module, name string) ([]byte, error) {
-	r := bufio.NewReader(conn)
+// getOnce performs one GET exchange on a live connection.
+func getOnce(conn net.Conn, r *bufio.Reader, module, name string) ([]byte, error) {
 	if err := writeLine(conn, "GET %s %s", module, name); err != nil {
 		return nil, fmt.Errorf("repo: sending GET: %w", err)
 	}
@@ -130,6 +270,74 @@ func getOne(conn net.Conn, module, name string) ([]byte, error) {
 	return content, nil
 }
 
+// statOnce performs one STAT exchange on a live connection.
+func statOnce(conn net.Conn, r *bufio.Reader, module, name string) (ObjectInfo, error) {
+	if err := writeLine(conn, "STAT %s %s", module, name); err != nil {
+		return ObjectInfo{}, fmt.Errorf("repo: sending STAT: %w", err)
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("repo: reading STAT response: %w", err)
+	}
+	return parseStatLine(line)
+}
+
+// list is List without the overall deadline (callers wrap their own).
+func (c *Client) list(ctx context.Context, uri URI) (map[string]int, error) {
+	pc := &pointConn{c: c, uri: uri}
+	defer pc.drop()
+	var out map[string]int
+	err := pc.request(ctx, func() error {
+		m, err := listOnce(pc.conn, pc.r, uri.Module)
+		if err == nil {
+			out = m
+		}
+		return err
+	})
+	return out, err
+}
+
+// List returns the object names and sizes available in the module.
+func (c *Client) List(ctx context.Context, uri URI) (map[string]int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.syncTimeout())
+	defer cancel()
+	return c.list(ctx, uri)
+}
+
+// Get fetches one object from the module.
+func (c *Client) Get(ctx context.Context, uri URI, name string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.syncTimeout())
+	defer cancel()
+	pc := &pointConn{c: c, uri: uri}
+	defer pc.drop()
+	var content []byte
+	err := pc.request(ctx, func() error {
+		b, err := getOnce(pc.conn, pc.r, uri.Module, name)
+		if err == nil {
+			content = b
+		}
+		return err
+	})
+	return content, err
+}
+
+// Stat fetches an object's size and hash without its content.
+func (c *Client) Stat(ctx context.Context, uri URI, name string) (ObjectInfo, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.syncTimeout())
+	defer cancel()
+	pc := &pointConn{c: c, uri: uri}
+	defer pc.drop()
+	var info ObjectInfo
+	err := pc.request(ctx, func() error {
+		i, err := statOnce(pc.conn, pc.r, uri.Module, name)
+		if err == nil {
+			info = i
+		}
+		return err
+	})
+	return info, err
+}
+
 // FetchAll lists the module and downloads every object, pipelining GETs
 // over up to Concurrency reused connections, returning name → content.
 // Objects that fail mid-fetch are reported via the error; partial results
@@ -137,7 +345,9 @@ func getOne(conn net.Conn, module, name string) ([]byte, error) {
 // (Side Effect 6). The first error is chosen deterministically (smallest
 // affected object name) regardless of connection scheduling.
 func (c *Client) FetchAll(ctx context.Context, uri URI) (map[string][]byte, error) {
-	names, err := c.List(ctx, uri)
+	ctx, cancel := context.WithTimeout(ctx, c.syncTimeout())
+	defer cancel()
+	names, err := c.list(ctx, uri)
 	if err != nil {
 		return nil, err
 	}
@@ -149,9 +359,6 @@ func (c *Client) FetchAll(ctx context.Context, uri URI) (map[string][]byte, erro
 	if len(ordered) == 0 {
 		return make(map[string][]byte), nil
 	}
-
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
-	defer cancel()
 
 	shards := c.concurrency()
 	if shards > len(ordered) {
@@ -193,10 +400,11 @@ func (c *Client) FetchAll(ctx context.Context, uri URI) (map[string][]byte, erro
 	return out, firstErr
 }
 
-// fetchShard downloads every shards-th name starting at offset s over one
-// connection. A protocol-level ERR for an object is recorded and the shard
-// continues; a connection-level failure aborts the shard with its partial
-// results.
+// fetchShard downloads every shards-th name starting at offset s, reusing
+// one connection and redialing (with retries per the RetryPolicy) when it
+// fails. A protocol-level ERR for an object is recorded and the shard
+// continues; an exhausted transport failure or an open breaker aborts the
+// shard with its partial results.
 func (c *Client) fetchShard(ctx context.Context, uri URI, ordered []string, s, shards int) (res struct {
 	files   map[string][]byte
 	errName string
@@ -208,38 +416,31 @@ func (c *Client) fetchShard(ctx context.Context, uri URI, ordered []string, s, s
 			res.errName, res.err = name, err
 		}
 	}
-	conn, err := c.dial(ctx, uri.Host)
-	if err != nil {
-		fail(ordered[s], fmt.Errorf("repo: dial %s: %w", uri.Host, err))
-		return res
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
-	}
-	r := bufio.NewReader(conn)
+	pc := &pointConn{c: c, uri: uri}
+	defer pc.drop()
 	for i := s; i < len(ordered); i += shards {
 		name := ordered[i]
-		if err := writeLine(conn, "GET %s %s", uri.Module, name); err != nil {
-			fail(name, fmt.Errorf("repo: sending GET: %w", err))
+		if err := ctx.Err(); err != nil {
+			fail(name, err)
 			return res
 		}
-		header, err := readLine(r)
-		if err != nil {
-			fail(name, fmt.Errorf("repo: reading GET response: %w", err))
-			return res
-		}
-		size, err := parseOKCount(header, MaxObjectSize)
-		if err != nil {
-			fail(name, fmt.Errorf("repo: object %q: %w", name, err))
+		err := pc.request(ctx, func() error {
+			content, err := getOnce(pc.conn, pc.r, uri.Module, name)
+			if err == nil {
+				res.files[name] = content
+			}
+			return err
+		})
+		if err == nil {
 			continue
 		}
-		content := make([]byte, size)
-		if _, err := io.ReadFull(r, content); err != nil {
-			fail(name, fmt.Errorf("repo: reading %q body: %w", name, err))
+		fail(name, fmt.Errorf("repo: object %q: %w", name, err))
+		if Retryable(err) || errors.Is(err, ErrCircuitOpen) || ctx.Err() != nil {
+			// Retries exhausted or the point is circuit-broken: the point
+			// is unhealthy, stop burning attempts on this shard.
 			return res
 		}
-		res.files[name] = content
+		// Protocol-level rejection of this one object: keep going.
 	}
 	return res
 }
@@ -252,44 +453,21 @@ type ObjectInfo struct {
 	Hash [32]byte
 }
 
-// Stat fetches an object's size and hash without its content.
-func (c *Client) Stat(ctx context.Context, uri URI, name string) (ObjectInfo, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
-	defer cancel()
-	conn, err := c.dial(ctx, uri.Host)
-	if err != nil {
-		return ObjectInfo{}, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
-	}
-	r := bufio.NewReader(conn)
-	if err := writeLine(conn, "STAT %s %s", uri.Module, name); err != nil {
-		return ObjectInfo{}, fmt.Errorf("repo: sending STAT: %w", err)
-	}
-	line, err := readLine(r)
-	if err != nil {
-		return ObjectInfo{}, fmt.Errorf("repo: reading STAT response: %w", err)
-	}
-	return parseStatLine(line)
-}
-
 func parseStatLine(line string) (ObjectInfo, error) {
 	fields := strings.Fields(line)
 	if len(fields) != 3 || fields[0] != "OK" {
 		if len(fields) > 0 && fields[0] == "ERR" {
-			return ObjectInfo{}, fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR "))
+			return ObjectInfo{}, permanent(fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR ")))
 		}
-		return ObjectInfo{}, fmt.Errorf("repo: malformed STAT response %q", line)
+		return ObjectInfo{}, permanent(fmt.Errorf("repo: malformed STAT response %q", line))
 	}
 	size, err := strconv.Atoi(fields[1])
 	if err != nil || size < 0 || size > MaxObjectSize {
-		return ObjectInfo{}, fmt.Errorf("repo: bad size in %q", line)
+		return ObjectInfo{}, permanent(fmt.Errorf("repo: bad size in %q", line))
 	}
 	hash, err := hex.DecodeString(fields[2])
 	if err != nil || len(hash) != 32 {
-		return ObjectInfo{}, fmt.Errorf("repo: bad hash in %q", line)
+		return ObjectInfo{}, permanent(fmt.Errorf("repo: bad hash in %q", line))
 	}
 	info := ObjectInfo{Size: size}
 	copy(info.Hash[:], hash)
@@ -311,23 +489,19 @@ type SyncResult struct {
 // SyncIncremental brings prev (a previous FetchAll/SyncIncremental result;
 // may be nil) up to date, transferring only objects whose STAT hash differs
 // — the rsync-style delta mode. It returns the new complete snapshot.
+// Transport failures retry per the RetryPolicy (redialing as needed); an
+// exhausted failure fails the sync so the caller can fall back to its
+// previous snapshot.
 func (c *Client) SyncIncremental(ctx context.Context, uri URI, prev map[string][]byte) (*SyncResult, error) {
-	names, err := c.List(ctx, uri)
+	ctx, cancel := context.WithTimeout(ctx, c.syncTimeout())
+	defer cancel()
+	names, err := c.list(ctx, uri)
 	if err != nil {
 		return nil, err
 	}
 	res := &SyncResult{Files: make(map[string][]byte, len(names))}
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
-	defer cancel()
-	conn, err := c.dial(ctx, uri.Host)
-	if err != nil {
-		return nil, fmt.Errorf("repo: dial %s: %w", uri.Host, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
-	}
-	r := bufio.NewReader(conn)
+	pc := &pointConn{c: c, uri: uri}
+	defer pc.drop()
 
 	ordered := make([]string, 0, len(names))
 	for name := range names {
@@ -335,41 +509,50 @@ func (c *Client) SyncIncremental(ctx context.Context, uri URI, prev map[string][
 	}
 	sort.Strings(ordered)
 	for _, name := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		old, have := prev[name]
 		if have && len(old) == names[name] {
 			// Sizes match: confirm with STAT before skipping the download.
-			if err := writeLine(conn, "STAT %s %s", uri.Module, name); err != nil {
-				return nil, fmt.Errorf("repo: sending STAT: %w", err)
-			}
-			line, err := readLine(r)
-			if err != nil {
-				return nil, fmt.Errorf("repo: reading STAT response: %w", err)
-			}
-			info, err := parseStatLine(line)
-			if err == nil && info.Hash == sha256.Sum256(old) {
+			var info ObjectInfo
+			err := pc.request(ctx, func() error {
+				i, err := statOnce(pc.conn, pc.r, uri.Module, name)
+				if err == nil {
+					info = i
+				}
+				return err
+			})
+			switch {
+			case err == nil && info.Hash == sha256.Sum256(old):
 				res.Files[name] = old
 				res.Reused++
 				continue
+			case err != nil && (Retryable(err) || errors.Is(err, ErrCircuitOpen)):
+				return nil, fmt.Errorf("repo: STAT %q: %w", name, err)
 			}
+			// STAT rejected or hash changed: fall through to the download.
 		}
 		// Download (new, resized, or hash-changed object).
-		if err := writeLine(conn, "GET %s %s", uri.Module, name); err != nil {
-			return nil, fmt.Errorf("repo: sending GET: %w", err)
-		}
-		line, err := readLine(r)
+		var content []byte
+		var gotIt bool
+		err := pc.request(ctx, func() error {
+			b, err := getOnce(pc.conn, pc.r, uri.Module, name)
+			if err == nil {
+				content, gotIt = b, true
+			}
+			return err
+		})
 		if err != nil {
-			return nil, fmt.Errorf("repo: reading GET response: %w", err)
-		}
-		size, err := parseOKCount(line, MaxObjectSize)
-		if err != nil {
+			if Retryable(err) || errors.Is(err, ErrCircuitOpen) {
+				return nil, fmt.Errorf("repo: fetching %q: %w", name, err)
+			}
 			continue // vanished between LIST and GET; treat as absent
 		}
-		content := make([]byte, size)
-		if _, err := io.ReadFull(r, content); err != nil {
-			return nil, fmt.Errorf("repo: reading %q body: %w", name, err)
+		if gotIt {
+			res.Files[name] = content
+			res.Downloaded++
 		}
-		res.Files[name] = content
-		res.Downloaded++
 	}
 	for name := range prev {
 		if _, still := res.Files[name]; !still {

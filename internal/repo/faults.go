@@ -5,16 +5,34 @@ import (
 	"time"
 )
 
+// FaultAction is what a scripted fault does to one request.
+type FaultAction uint8
+
+const (
+	// ActNone serves the request normally.
+	ActNone FaultAction = iota
+	// ActDropConn drops the connection without a response (transport
+	// fault: the client sees an I/O error and may retry).
+	ActDropConn
+	// ActErr answers the request with a protocol-level ERR (permanent:
+	// the client must not retry).
+	ActErr
+)
+
 // Faults injects delivery failures into a served publication point. The
 // paper (Section 4, Side Effect 6) lists the ways "information can be
 // missing": delayed renewal, filesystem or server corruption, withheld
-// objects. Each has a switch here. The zero Faults injects nothing.
+// objects. Each has a switch here, plus the transport pathologies real
+// relying parties survive with retries and fallbacks: intermittent failures
+// (fail N of every M requests), truncated bodies, per-object delays,
+// slow-loris trickle, and scripted schedules. The zero Faults injects
+// nothing.
 //
 // Faults model *transport-level* failures as seen by the relying party;
 // the authority's own misbehavior (deleting, shrinking, overwriting) is
 // modeled by mutating the Store itself via the ca package.
 type Faults struct {
-	mu sync.RWMutex
+	mu sync.Mutex
 	// drop hides named objects from both LIST and GET.
 	drop map[string]bool
 	// corrupt serves named objects with flipped bits.
@@ -23,11 +41,35 @@ type Faults struct {
 	refuse bool
 	// delay postpones every response.
 	delay time.Duration
+	// objDelay postpones responses for specific objects.
+	objDelay map[string]time.Duration
+	// truncate serves named objects with half their body, then drops the
+	// connection.
+	truncate map[string]bool
+	// failN/failM: fail the first failN of every failM requests touching
+	// a name ("" keys module-level request faults). reqCount is the
+	// per-name request counter driving the cycle.
+	failN, failM map[string]int
+	reqCount     map[string]int
+	// slowLoris throttles body writes to one byte per interval.
+	slowLoris time.Duration
+	// script, when set, is consulted per request with a 1-based counter —
+	// arbitrary flaky-then-healthy schedules in one closure.
+	script  func(requestN int) FaultAction
+	scriptN int
 }
 
 // NewFaults returns a fault plan injecting nothing.
 func NewFaults() *Faults {
-	return &Faults{drop: make(map[string]bool), corrupt: make(map[string]bool)}
+	return &Faults{
+		drop:     make(map[string]bool),
+		corrupt:  make(map[string]bool),
+		objDelay: make(map[string]time.Duration),
+		truncate: make(map[string]bool),
+		failN:    make(map[string]int),
+		failM:    make(map[string]int),
+		reqCount: make(map[string]int),
+	}
 }
 
 // Drop hides name from the served module until Restore is called.
@@ -58,10 +100,71 @@ func (f *Faults) SetDelay(d time.Duration) {
 	f.delay = d
 }
 
-// Restore clears all per-object faults for name (or every object when name
-// is ""). It models the transient fault being fixed — the crux of Side
-// Effect 7 is that recovery of the repository does not imply recovery of
-// the relying party.
+// DelayObject postpones responses for name (GET and STAT) by d, so a single
+// slow object can be injected without slowing the whole module — the case
+// that distinguishes per-request deadlines from whole-fetch ones.
+func (f *Faults) DelayObject(name string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		delete(f.objDelay, name)
+		return
+	}
+	f.objDelay[name] = d
+}
+
+// FailRate makes the first n of every m requests touching name fail by
+// dropping the connection — the intermittent fault a retrying client
+// converges through deterministically (requests 1..n of each cycle fail,
+// n+1..m succeed). name "" applies the rate to every request on the module
+// (LIST included). n<=0 or m<=0 clears the rate for name.
+func (f *Faults) FailRate(name string, n, m int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || m <= 0 {
+		delete(f.failN, name)
+		delete(f.failM, name)
+		delete(f.reqCount, name)
+		return
+	}
+	f.failN[name] = n
+	f.failM[name] = m
+	f.reqCount[name] = 0
+}
+
+// Truncate serves name's GET with the correct size header but only half the
+// body, then drops the connection — the torn transfer a crashing repository
+// produces.
+func (f *Faults) Truncate(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncate[name] = true
+}
+
+// SetSlowLoris throttles every GET body to one byte per d — the Stalloris
+// pattern: the repository is "up" but a naive relying party stalls a worker
+// on it indefinitely. 0 disables.
+func (f *Faults) SetSlowLoris(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slowLoris = d
+}
+
+// SetScript installs a scripted fault schedule: fn is consulted once per
+// request with a 1-based request counter and its action applied before any
+// other fault. nil clears the script. Use it to express flaky-then-healthy
+// timelines ("drop the first 4 requests, then recover").
+func (f *Faults) SetScript(fn func(requestN int) FaultAction) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script = fn
+	f.scriptN = 0
+}
+
+// Restore clears all per-object faults for name (or every fault, including
+// module-level ones, when name is ""). It models the transient fault being
+// fixed — the crux of Side Effect 7 is that recovery of the repository does
+// not imply recovery of the relying party.
 func (f *Faults) Restore(name string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -70,18 +173,31 @@ func (f *Faults) Restore(name string) {
 		f.corrupt = make(map[string]bool)
 		f.refuse = false
 		f.delay = 0
+		f.objDelay = make(map[string]time.Duration)
+		f.truncate = make(map[string]bool)
+		f.failN = make(map[string]int)
+		f.failM = make(map[string]int)
+		f.reqCount = make(map[string]int)
+		f.slowLoris = 0
+		f.script = nil
+		f.scriptN = 0
 		return
 	}
 	delete(f.drop, name)
 	delete(f.corrupt, name)
+	delete(f.objDelay, name)
+	delete(f.truncate, name)
+	delete(f.failN, name)
+	delete(f.failM, name)
+	delete(f.reqCount, name)
 }
 
 func (f *Faults) dropped(name string) bool {
 	if f == nil {
 		return false
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.drop[name]
 }
 
@@ -89,8 +205,8 @@ func (f *Faults) corrupted(name string) bool {
 	if f == nil {
 		return false
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.corrupt[name]
 }
 
@@ -98,8 +214,8 @@ func (f *Faults) refusing() bool {
 	if f == nil {
 		return false
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.refuse
 }
 
@@ -107,9 +223,68 @@ func (f *Faults) currentDelay() time.Duration {
 	if f == nil {
 		return 0
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.delay
+}
+
+func (f *Faults) objectDelay(name string) time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.objDelay[name]
+}
+
+func (f *Faults) truncated(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.truncate[name]
+}
+
+func (f *Faults) slowLorisDelay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slowLoris
+}
+
+// shouldFail advances name's request counter and reports whether this
+// request falls in the failing part of its FailRate cycle.
+func (f *Faults) shouldFail(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.failM[name]
+	if m <= 0 {
+		return false
+	}
+	k := f.reqCount[name]
+	f.reqCount[name] = k + 1
+	return k%m < f.failN[name]
+}
+
+// scriptAction advances the script's request counter and returns its verdict
+// for this request.
+func (f *Faults) scriptAction() FaultAction {
+	if f == nil {
+		return ActNone
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.script == nil {
+		return ActNone
+	}
+	f.scriptN++
+	return f.script(f.scriptN)
 }
 
 // corruptBytes deterministically flips bits so corruption is reproducible.

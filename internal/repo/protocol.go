@@ -93,18 +93,20 @@ func writeLine(w io.Writer, format string, args ...any) error {
 	return err
 }
 
-// parseOKCount parses an "OK <n>" header with a bound.
+// parseOKCount parses an "OK <n>" header with a bound. Its errors are
+// permanent: the server completed the exchange, retrying cannot change the
+// answer.
 func parseOKCount(line string, bound int) (int, error) {
 	fields := strings.Fields(line)
 	if len(fields) != 2 || fields[0] != "OK" {
 		if len(fields) > 0 && fields[0] == "ERR" {
-			return 0, fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR "))
+			return 0, permanent(fmt.Errorf("repo: server error: %s", strings.TrimPrefix(line, "ERR ")))
 		}
-		return 0, fmt.Errorf("repo: malformed response %q", line)
+		return 0, permanent(fmt.Errorf("repo: malformed response %q", line))
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil || n < 0 || n > bound {
-		return 0, fmt.Errorf("repo: count %q out of range", fields[1])
+		return 0, permanent(fmt.Errorf("repo: count %q out of range", fields[1]))
 	}
 	return n, nil
 }

@@ -187,8 +187,10 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// moduleFor resolves a module, applying connection-level faults. ok=false
-// means the connection should be dropped as if the server were unreachable.
+// moduleFor resolves a module, applying connection-level faults: refusal,
+// global delay, the scripted schedule, and the module-level ("") fail rate.
+// ok=false means the connection should be dropped as if the server were
+// unreachable.
 func (s *Server) moduleFor(name string) (*Module, bool, error) {
 	m, found := s.Module(name)
 	if !found {
@@ -199,6 +201,15 @@ func (s *Server) moduleFor(name string) (*Module, bool, error) {
 	}
 	if d := m.Faults.currentDelay(); d > 0 {
 		time.Sleep(d)
+	}
+	switch m.Faults.scriptAction() {
+	case ActDropConn:
+		return nil, false, nil
+	case ActErr:
+		return nil, true, fmt.Errorf("scripted fault")
+	}
+	if m.Faults.shouldFail("") {
+		return nil, false, nil
 	}
 	return m, true, nil
 }
@@ -253,6 +264,12 @@ func (s *Server) serveGet(w *bufio.Writer, module, name string) bool {
 		_ = writeLine(w, "ERR invalid object name")
 		return true
 	}
+	if d := m.Faults.objectDelay(name); d > 0 {
+		time.Sleep(d)
+	}
+	if m.Faults.shouldFail(name) {
+		return false
+	}
 	content, ok := m.Store.Get(name)
 	if !ok || m.Faults.dropped(name) {
 		_ = writeLine(w, "ERR no such object %q", name)
@@ -263,6 +280,27 @@ func (s *Server) serveGet(w *bufio.Writer, module, name string) bool {
 	}
 	if err := writeLine(w, "OK %d", len(content)); err != nil {
 		return false
+	}
+	if m.Faults.truncated(name) {
+		// Correct header, half the body, dead connection: a torn transfer.
+		_, _ = w.Write(content[:len(content)/2])
+		_ = w.Flush()
+		return false
+	}
+	if d := m.Faults.slowLorisDelay(); d > 0 {
+		// Trickle one byte per interval: the connection is alive, progress
+		// is nearly zero — only a per-request deadline (and the breaker
+		// above it) defends against this.
+		for i := range content {
+			time.Sleep(d)
+			if err := w.WriteByte(content[i]); err != nil {
+				return false
+			}
+			if err := w.Flush(); err != nil {
+				return false
+			}
+		}
+		return true
 	}
 	if _, err := w.Write(content); err != nil {
 		return false
@@ -285,6 +323,12 @@ func (s *Server) serveStat(w *bufio.Writer, module, name string) bool {
 	if !validName(name) {
 		_ = writeLine(w, "ERR invalid object name")
 		return true
+	}
+	if d := m.Faults.objectDelay(name); d > 0 {
+		time.Sleep(d)
+	}
+	if m.Faults.shouldFail(name) {
+		return false
 	}
 	content, ok := m.Store.Get(name)
 	if !ok || m.Faults.dropped(name) {

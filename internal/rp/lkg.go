@@ -1,0 +1,62 @@
+// Last-known-good (LKG) fallback: the relying party's answer to the paper's
+// Side Effects 6 and 7. Each sync snapshots every publication point that
+// validated cleanly; when a later sync finds the point unreachable (dead,
+// refusing, circuit-broken, or gated by the very routes it should be
+// validating), the snapshot is revalidated in its place — for at most
+// StaleTTL. Deployed validators (Routinator, rpki-client) survive flaky
+// repositories exactly this way; bounding the staleness is the paper's §4
+// tradeoff: an unreachable repository must degrade service eventually, or a
+// coerced authority could freeze the relying party's world state forever by
+// taking its repository offline.
+package rp
+
+import (
+	"sync"
+	"time"
+)
+
+// lkgEntry is one publication point's last cleanly-validated snapshot.
+type lkgEntry struct {
+	// files is the full fetched content of the point at snapshot time.
+	files map[string][]byte
+	// at is the sync time of the snapshot (per the relying party's clock).
+	at time.Time
+}
+
+// lkgStore holds LKG snapshots across Sync calls. Snapshots are committed
+// only for points whose sync produced zero diagnostics — "verified objects"
+// — so a corrupted or partially-served point never overwrites the good
+// snapshot its fallback would need.
+type lkgStore struct {
+	mu     sync.Mutex
+	points map[string]lkgEntry
+}
+
+func newLKGStore() *lkgStore {
+	return &lkgStore{points: make(map[string]lkgEntry)}
+}
+
+// put commits a snapshot for module.
+func (s *lkgStore) put(module string, files map[string][]byte, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points[module] = lkgEntry{files: files, at: at}
+}
+
+// get returns module's snapshot, if any.
+func (s *lkgStore) get(module string) (lkgEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.points[module]
+	return e, ok
+}
+
+// Len reports how many points have snapshots (for observability).
+func (s *lkgStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}

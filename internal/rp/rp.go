@@ -115,6 +115,15 @@ const (
 	DiagMissingManifest
 	// DiagDroppedPubPoint: DropPublicationPoint policy discarded the point.
 	DiagDroppedPubPoint
+	// DiagPointUnreachable: a publication point could not be fetched this
+	// sync (dead, refusing, or circuit-broken). Emitted when last-known-good
+	// fallback is enabled; DiagFetchFailure covers the same condition when
+	// it is not.
+	DiagPointUnreachable
+	// DiagStaleFallback: the relying party served a point's last-known-good
+	// snapshot instead of fresh data — degradation made observable, never
+	// silent.
+	DiagStaleFallback
 )
 
 func (k DiagKind) String() string {
@@ -133,6 +142,10 @@ func (k DiagKind) String() string {
 		return "missing-manifest"
 	case DiagDroppedPubPoint:
 		return "dropped-publication-point"
+	case DiagPointUnreachable:
+		return "point-unreachable"
+	case DiagStaleFallback:
+		return "stale-fallback"
 	}
 	return fmt.Sprintf("DiagKind(%d)", uint8(k))
 }
@@ -172,6 +185,14 @@ type Config struct {
 	// fans out across this many goroutines. 0 means runtime.GOMAXPROCS(0);
 	// 1 is the sequential baseline. Results are identical at any setting.
 	Workers int
+	// StaleTTL enables last-known-good fallback: when a publication point
+	// cannot be fetched, its most recent cleanly-validated snapshot — no
+	// older than StaleTTL — is validated in its place, with DiagStaleFallback
+	// recording the substitution. 0 disables fallback: an unreachable point
+	// simply vanishes from the validated cache, as the paper's Side Effect 6
+	// assumes. The TTL bounds how long a dead (or coerced-offline) authority
+	// can pin the relying party's view of its subtree.
+	StaleTTL time.Duration
 	// DisableVerifyCache turns off the persistent verification cache that
 	// lets repeated Sync calls skip re-verifying CMS envelopes and
 	// certificate-chain signatures for unchanged objects. The cache is
@@ -200,6 +221,9 @@ type RelyingParty struct {
 	// cache persists verification verdicts across Sync calls (nil when
 	// disabled).
 	cache *objectCache
+	// lkg holds last-known-good snapshots across Sync calls (nil when
+	// StaleTTL is 0).
+	lkg *lkgStore
 }
 
 // New creates a relying party over the given trust anchors.
@@ -214,6 +238,9 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 	}
 	if !cfg.DisableVerifyCache {
 		rp.cache = newObjectCache()
+	}
+	if cfg.StaleTTL > 0 {
+		rp.lkg = newLKGStore()
 	}
 	return rp
 }
@@ -246,6 +273,21 @@ type Result struct {
 	// cache is disabled). A warm re-sync of an unchanged world shows all
 	// hits: no CMS or certificate signature is re-verified.
 	VerifyCacheHits, VerifyCacheMisses int
+	// Retries, BreakerTrips and BreakerFastFails count the fetcher's
+	// resilience events during this sync (zero unless the Fetcher reports
+	// degradation stats — *repo.Client does). Exact, so degradation is
+	// observable rather than silent.
+	Retries, BreakerTrips, BreakerFastFails int
+	// StaleFallbacks counts publication points served from the
+	// last-known-good store this sync.
+	StaleFallbacks int
+}
+
+// DegradationReporter is optionally implemented by fetchers that count
+// retries and circuit-breaker activity (*repo.Client does); Sync reports
+// the per-sync delta on the Result.
+type DegradationReporter interface {
+	Stats() repo.DegradationStats
 }
 
 // Incomplete reports whether the relying party has any reason to believe
@@ -261,17 +303,27 @@ func (r *Result) diag(kind DiagKind, module, object string, err error) {
 }
 
 // Sync walks every trust anchor's subtree and returns the validated cache.
+// A canceled context aborts the sync promptly — mid-fetch included — and
+// returns ctx.Err() rather than burying the cancellation in diagnostics.
 func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 	if rp.cfg.Fetcher == nil {
 		return nil, fmt.Errorf("rp: no fetcher configured")
 	}
 	res := &Result{}
 	now := rp.now()
+	var statsBefore repo.DegradationStats
+	reporter, _ := rp.cfg.Fetcher.(DegradationReporter)
+	if reporter != nil {
+		statsBefore = reporter.Stats()
+	}
 	st := &syncState{
 		rp:  rp,
 		ctx: ctx,
 		res: res,
 		sem: make(chan struct{}, rp.cfg.workers()),
+	}
+	if rp.lkg != nil {
+		st.fetched = make(map[string]map[string][]byte)
 	}
 	for _, ta := range rp.anchors {
 		anchor, err := cert.Parse(ta.CertDER)
@@ -289,10 +341,34 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		st.spawn(func() { st.walk(anchor, resources, uri, rp.cfg.MaxDepth) })
 	}
 	st.wg.Wait()
+	if err := st.firstErr(); err != nil {
+		return nil, err
+	}
+	// Commit LKG snapshots for points that validated without a single
+	// diagnostic: "verified objects", so a corrupted point can never
+	// overwrite the clean snapshot its own fallback may need (Side Effect 7
+	// recovery depends on this).
+	if rp.lkg != nil {
+		tainted := make(map[string]bool, len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			tainted[d.Module] = true
+		}
+		for module, files := range st.fetched {
+			if !tainted[module] {
+				rp.lkg.put(module, files, now)
+			}
+		}
+	}
 	sortVRPs(res.VRPs)
 	sortDiagnostics(res.Diagnostics)
 	res.VerifyCacheHits = int(st.cacheHits.Load())
 	res.VerifyCacheMisses = int(st.cacheMisses.Load())
+	if reporter != nil {
+		after := reporter.Stats()
+		res.Retries = int(after.Retries - statsBefore.Retries)
+		res.BreakerTrips = int(after.BreakerTrips - statsBefore.BreakerTrips)
+		res.BreakerFastFails = int(after.BreakerFastFails - statsBefore.BreakerFastFails)
+	}
 	return res, nil
 }
 
@@ -340,10 +416,30 @@ type syncState struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 
-	mu  sync.Mutex // guards res
+	mu  sync.Mutex // guards res, err and fetched
 	res *Result
+	// err is the first hard failure (context cancellation); it aborts the
+	// sync instead of becoming a diagnostic.
+	err error
+	// fetched records each point's cleanly-fetched files for the LKG commit
+	// at the end of Sync (nil when LKG is disabled).
+	fetched map[string]map[string][]byte
 
 	cacheHits, cacheMisses atomic.Int64
+}
+
+func (st *syncState) setErr(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+func (st *syncState) firstErr() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
 }
 
 // spawn tracks f with the WaitGroup and runs it on its own goroutine.
@@ -380,16 +476,28 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		st.diag(DiagInvalidObject, uri.Module, "", fmt.Errorf("hierarchy too deep"))
 		return
 	}
+	if err := st.ctx.Err(); err != nil {
+		st.setErr(err)
+		return
+	}
 	st.mu.Lock()
 	st.res.PubPointsVisited++
 	st.mu.Unlock()
 	files, err := st.rp.fetch(st.ctx, st, uri)
-	if err != nil && len(files) == 0 {
-		st.diag(DiagFetchFailure, uri.Module, "", err)
+	if err != nil && st.ctx.Err() != nil {
+		// Cancellation is an abort, not incompleteness: no diagnostic.
+		st.setErr(st.ctx.Err())
 		return
 	}
-	if err != nil {
+	switch {
+	case err != nil && len(files) == 0:
+		if files = st.lkgFallback(uri, err); files == nil {
+			return
+		}
+	case err != nil:
 		st.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
+	default:
+		st.recordFetched(uri.Module, files)
 	}
 	now := st.rp.now()
 
@@ -520,6 +628,45 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 			})
 		})
 	}
+}
+
+// recordFetched remembers a point's cleanly-fetched files for the LKG
+// commit at the end of Sync (no-op when LKG is disabled).
+func (st *syncState) recordFetched(module string, files map[string][]byte) {
+	if st.fetched == nil {
+		return
+	}
+	st.mu.Lock()
+	st.fetched[module] = files
+	st.mu.Unlock()
+}
+
+// lkgFallback handles a publication point that could not be fetched at all.
+// With LKG enabled and a fresh-enough snapshot on hand it returns the
+// snapshot's files (diagnosing the substitution); otherwise it returns nil
+// and the point's subtree drops out of the validated cache — Side Effect 6.
+func (st *syncState) lkgFallback(uri repo.URI, ferr error) map[string][]byte {
+	if st.rp.lkg == nil {
+		st.diag(DiagFetchFailure, uri.Module, "", ferr)
+		return nil
+	}
+	st.diag(DiagPointUnreachable, uri.Module, "", ferr)
+	entry, ok := st.rp.lkg.get(uri.Module)
+	now := st.rp.now()
+	ttl := st.rp.cfg.StaleTTL
+	if !ok {
+		st.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("no last-known-good snapshot"))
+		return nil
+	}
+	if age := now.Sub(entry.at); age > ttl {
+		st.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("last-known-good snapshot expired (age %v > stale-ttl %v)", age, ttl))
+		return nil
+	}
+	st.diag(DiagStaleFallback, uri.Module, "", fmt.Errorf("serving %d objects from snapshot aged %v (stale-ttl %v)", len(entry.files), now.Sub(entry.at), ttl))
+	st.mu.Lock()
+	st.res.StaleFallbacks++
+	st.mu.Unlock()
+	return entry.files
 }
 
 // processObject admits one fetched object: manifest admission, then ROA

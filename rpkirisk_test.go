@@ -124,8 +124,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if len(results) != 1 || !results[0].Passed() {
 		t.Errorf("results = %v", results)
 	}
-	if len(Experiments()) != 13 {
-		t.Errorf("experiments = %d, want 13", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Errorf("experiments = %d, want 14", len(Experiments()))
 	}
 	if len(Table4()) != 9 {
 		t.Error("Table4 rows wrong")
