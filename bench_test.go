@@ -24,7 +24,10 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ipres"
 	"repro/internal/repo"
+	"repro/internal/roa"
 	"repro/internal/rov"
+	"repro/internal/rp"
+	"repro/internal/rtr"
 )
 
 func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
@@ -225,16 +228,16 @@ func BenchmarkValidateSyntheticParallel(b *testing.B) {
 
 // BenchmarkValidateSyntheticWarmCache measures a re-sync of an unchanged
 // synthetic world on a relying party whose verification cache is already
-// populated — the steady state of a polling relying party. All signature
-// verifications are cache hits; only hashing, manifest cross-checks and the
-// time/CRL/containment validation remain.
+// populated — with module reuse disabled, so the numbers isolate the
+// signature-cache layer: all verifications are cache hits, but hashing,
+// manifest cross-checks and the time/CRL/containment validation still run.
 func BenchmarkValidateSyntheticWarmCache(b *testing.B) {
 	w, err := NewSyntheticWorld(1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
-	relying := NewRelyingParty(w, 0)
+	relying := rp.New(rp.Config{Fetcher: w.Stores, Clock: w.Clock, DisableModuleReuse: true}, w.Anchor())
 	if _, err := relying.Sync(ctx); err != nil { // cold pass populates the cache
 		b.Fatal(err)
 	}
@@ -250,6 +253,127 @@ func BenchmarkValidateSyntheticWarmCache(b *testing.B) {
 		if res.VerifyCacheMisses != 0 {
 			b.Fatalf("warm re-sync re-verified %d objects", res.VerifyCacheMisses)
 		}
+	}
+}
+
+// BenchmarkValidateSyntheticWarmReuse is the steady state of this PR: a
+// re-sync of an unchanged synthetic world with module-level memoization
+// enabled. Every publication point proves itself unchanged and reuses its
+// validated outputs wholesale — no hashing, no manifest cross-checks, no
+// chain walks. Compare against BenchmarkValidateSyntheticWarmCache (the
+// verify-cache-only baseline) for the speedup.
+func BenchmarkValidateSyntheticWarmReuse(b *testing.B) {
+	w, err := NewSyntheticWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	relying := NewRelyingParty(w, 0)
+	if _, err := relying.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := relying.Sync(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ROAsAccepted < 1200 {
+			b.Fatalf("ROAs = %d", res.ROAsAccepted)
+		}
+		if res.ModulesRevalidated != 0 {
+			b.Fatalf("warm re-sync re-validated %d modules", res.ModulesRevalidated)
+		}
+	}
+}
+
+// BenchmarkSyntheticOneModuleChanged measures the incremental cost of real
+// churn: each iteration flips one ROA in one ISP's publication point, so
+// exactly that module re-validates and every other one is reused.
+func BenchmarkSyntheticOneModuleChanged(b *testing.B) {
+	w, err := NewSyntheticWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	relying := NewRelyingParty(w, 0)
+	if _, err := relying.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+	isp := w.MustAuthority("rir-0-isp-0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 8.0.240.0/20 sits inside the ISP's /16, clear of its generated
+		// ROA blocks and customer /24s.
+		if i%2 == 0 {
+			if _, err := isp.IssueROA("bench-toggle", 65000, roa.MustParsePrefix("8.0.240.0/20")); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := isp.DeleteROA("bench-toggle"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := relying.Sync(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ModulesRevalidated != 1 {
+			b.Fatalf("revalidated %d modules, want 1", res.ModulesRevalidated)
+		}
+	}
+}
+
+// BenchmarkRTRFanOut measures propagating a one-VRP delta to N concurrently
+// connected RTR clients. The serialized frames are shared across clients, so
+// per-client cost is a write of pre-built bytes; each iteration waits until
+// every client has applied the update.
+func BenchmarkRTRFanOut(b *testing.B) {
+	base := make([]rov.VRP, 0, 500)
+	for i := 0; i < 500; i++ {
+		p := MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/250, i%250))
+		base = append(base, rov.VRP{Prefix: p, MaxLength: 24, ASN: ipres.ASN(64496 + i%100)})
+	}
+	extra := rov.VRP{Prefix: MustParsePrefix("192.0.2.0/24"), MaxLength: 24, ASN: 64500}
+	snapshot := func(withExtra bool) []rov.VRP {
+		out := append([]rov.VRP(nil), base...)
+		if withExtra {
+			out = append(out, extra)
+		}
+		return out
+	}
+
+	for _, clients := range []int{10, 100} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			bound, cache, stop, err := ServeRTR("127.0.0.1:0", snapshot(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = stop() }()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			synced := make(chan struct{}, clients*4)
+			for i := 0; i < clients; i++ {
+				c := rtr.NewClient(bound)
+				c.OnSync(func([]rov.VRP) { synced <- struct{}{} })
+				go func() { _ = c.Run(ctx) }()
+			}
+			await := func() {
+				for i := 0; i < clients; i++ {
+					select {
+					case <-synced:
+					case <-time.After(10 * time.Second):
+						b.Fatal("client did not sync")
+					}
+				}
+			}
+			await() // initial full sync of every client
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache.SetVRPs(snapshot(i%2 == 0))
+				await()
+			}
+		})
 	}
 }
 

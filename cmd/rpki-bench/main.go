@@ -1,0 +1,239 @@
+// Command rpki-bench runs the repository's key micro-benchmarks outside the
+// go-test harness and writes the results as machine-readable JSON — a
+// regression baseline that CI or a developer can diff across changes.
+//
+// Usage:
+//
+//	rpki-bench [-out BENCH_PR4.json] [-benchtime 1s]
+//
+// The suite covers the steady-state polling pipeline end to end: a cold
+// validation of the production-sized synthetic world, the warm re-sync with
+// only the signature verification cache (module reuse disabled), the warm
+// re-sync with module-level memoization, the one-module-changed incremental
+// sync, the VRP set diff, and the RTR fan-out of a one-VRP delta to 100
+// concurrent router clients.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	rpkirisk "repro"
+	"repro/internal/ipres"
+	"repro/internal/roa"
+	"repro/internal/rov"
+	"repro/internal/rp"
+	"repro/internal/rtr"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "write the JSON report to this file (empty: stdout only)")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	testing.Init() // registers the test.* flags testing.Benchmark reads
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	rep := &report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-32s %10d iter  %14.0f ns/op  %8d allocs/op  %10d B/op\n",
+			name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	ctx := context.Background()
+	world, err := rpkirisk.NewSyntheticWorld(1)
+	if err != nil {
+		fatal(err)
+	}
+
+	run("validate_synthetic_cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := rpkirisk.Validate(ctx, world)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ROAsAccepted < 1200 {
+				b.Fatalf("ROAs = %d", res.ROAsAccepted)
+			}
+		}
+	})
+
+	run("warm_resync_verify_cache", func(b *testing.B) {
+		relying := rp.New(rp.Config{Fetcher: world.Stores, Clock: world.Clock, DisableModuleReuse: true}, world.Anchor())
+		if _, err := relying.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := relying.Sync(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.VerifyCacheMisses != 0 {
+				b.Fatalf("re-verified %d objects", res.VerifyCacheMisses)
+			}
+		}
+	})
+
+	run("warm_resync_module_reuse", func(b *testing.B) {
+		relying := rpkirisk.NewRelyingParty(world, 0)
+		if _, err := relying.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := relying.Sync(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ModulesRevalidated != 0 {
+				b.Fatalf("re-validated %d modules", res.ModulesRevalidated)
+			}
+		}
+	})
+
+	run("one_module_changed", func(b *testing.B) {
+		relying := rpkirisk.NewRelyingParty(world, 0)
+		if _, err := relying.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		isp := world.MustAuthority("rir-0-isp-0")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				if _, err := isp.IssueROA("bench-toggle", 65000, roa.MustParsePrefix("8.0.240.0/20")); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if err := isp.DeleteROA("bench-toggle"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			res, err := relying.Sync(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ModulesRevalidated != 1 {
+				b.Fatalf("revalidated %d modules, want 1", res.ModulesRevalidated)
+			}
+		}
+		b.StopTimer()
+		_ = isp.DeleteROA("bench-toggle") // leave the world as found (best effort)
+	})
+
+	baseline, err := rpkirisk.Validate(ctx, world)
+	if err != nil {
+		fatal(err)
+	}
+	vrps := baseline.VRPs
+
+	run("vrp_diff_unchanged", func(b *testing.B) {
+		next := append([]rov.VRP(nil), vrps...)
+		for i := 0; i < b.N; i++ {
+			announced, withdrawn := rov.DiffVRPs(vrps, next)
+			if announced != nil || withdrawn != nil {
+				b.Fatal("unchanged set produced a delta")
+			}
+		}
+	})
+
+	run("rtr_fanout_100_clients", func(b *testing.B) {
+		const clients = 100
+		extra := rov.VRP{Prefix: rpkirisk.MustParsePrefix("192.0.2.0/24"), MaxLength: 24, ASN: ipres.ASN(64500)}
+		snapshot := func(withExtra bool) []rov.VRP {
+			out := append([]rov.VRP(nil), vrps...)
+			if withExtra {
+				out = append(out, extra)
+			}
+			return out
+		}
+		bound, cache, stop, err := rpkirisk.ServeRTR("127.0.0.1:0", snapshot(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = stop() }()
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		synced := make(chan struct{}, clients*4)
+		for i := 0; i < clients; i++ {
+			c := rtr.NewClient(bound)
+			c.OnSync(func([]rov.VRP) { synced <- struct{}{} })
+			go func() { _ = c.Run(cctx) }()
+		}
+		await := func() {
+			for i := 0; i < clients; i++ {
+				select {
+				case <-synced:
+				case <-time.After(10 * time.Second):
+					b.Fatal("client did not sync")
+				}
+			}
+		}
+		await()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.SetVRPs(snapshot(i%2 == 0))
+			await()
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		fmt.Println(string(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -5,8 +5,18 @@
 //
 // Usage:
 //
-//	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
+//	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-poll 30s] [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
 //	        [-max-retries N] [-request-timeout D] [-stale-ttl D] [-breaker-threshold N] [-breaker-cooldown D]
+//	        [-no-module-reuse] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// With -poll the daemon re-syncs on the given interval. Steady-state polls
+// are incremental: object snapshots are cached so unchanged objects are
+// proven by hash (STAT) instead of re-downloaded, and publication points
+// whose bytes are provably unchanged within their validity epoch reuse their
+// previous validated outputs wholesale (-no-module-reuse disables that
+// second layer). When -rtr is set, each poll feeds the validated VRP set to
+// the RTR cache, which computes a minimal delta and notifies routers only
+// when something actually changed.
 //
 // The resilience flags tune how the daemon degrades under misbehaving
 // repositories: transport failures retry with backoff (-max-retries), each
@@ -23,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -36,14 +47,46 @@ func main() {
 	server := flag.String("server", "127.0.0.1:8873", "rsynclite server address")
 	rtrAddr := flag.String("rtr", "", "serve RTR on this address (empty: disabled)")
 	policy := flag.String("policy", "best-effort", "missing-information policy: best-effort or drop-pubpoint")
-	interval := flag.Duration("interval", 0, "resync interval (0: sync once and exit unless -rtr)")
+	interval := flag.Duration("interval", 0, "resync interval (deprecated alias for -poll)")
+	poll := flag.Duration("poll", 0, "steady-state poll interval (0: sync once and exit unless -rtr)")
 	workers := flag.Int("workers", 0, "validation workers (0: GOMAXPROCS, 1: sequential)")
 	maxRetries := flag.Int("max-retries", 3, "transport-failure retries per request (0: fail on first fault)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (one LIST/GET/STAT exchange)")
 	staleTTL := flag.Duration("stale-ttl", time.Hour, "serve an unreachable point's last-known-good snapshot up to this age (0: disabled)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a point's circuit breaker (0: no breaker)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker refuses requests before probing")
+	noModuleReuse := flag.Bool("no-module-reuse", false, "re-validate every publication point on every poll, even provably unchanged ones")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *poll != 0 {
+		*interval = *poll
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	anchor, err := rpkirisk.ReadTAL(*talPath)
 	if err != nil {
@@ -72,10 +115,12 @@ func main() {
 		})
 	}
 	relying := rp.New(rp.Config{
-		Fetcher:  client,
-		Policy:   missing,
-		Workers:  *workers,
-		StaleTTL: *staleTTL,
+		Fetcher:            client,
+		Policy:             missing,
+		Workers:            *workers,
+		StaleTTL:           *staleTTL,
+		CacheSnapshots:     true,
+		DisableModuleReuse: *noModuleReuse,
 	}, anchor)
 
 	sync := func() *rp.Result {
@@ -84,8 +129,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("synced: %d CAs, %d ROAs, %d VRPs", result.CertsAccepted, result.ROAsAccepted, len(result.VRPs))
-		if result.Retries > 0 || result.BreakerTrips > 0 || result.StaleFallbacks > 0 {
-			fmt.Printf(" (retries %d, breaker trips %d, stale fallbacks %d)", result.Retries, result.BreakerTrips, result.StaleFallbacks)
+		if result.ModulesReused > 0 {
+			fmt.Printf(" [%d modules reused, %d revalidated]", result.ModulesReused, result.ModulesRevalidated)
+		}
+		if result.Retries > 0 || result.BreakerTrips > 0 || result.StaleFallbacks > 0 || result.IncrementalFallbacks > 0 {
+			fmt.Printf(" (retries %d, breaker trips %d, stale fallbacks %d, incremental fallbacks %d)",
+				result.Retries, result.BreakerTrips, result.StaleFallbacks, result.IncrementalFallbacks)
 		}
 		if result.Incomplete() {
 			fmt.Printf(" — CACHE INCOMPLETE (%d diagnostics)\n", len(result.Diagnostics))

@@ -484,6 +484,11 @@ type SyncResult struct {
 	Reused int
 	// Removed counts objects that disappeared from the module.
 	Removed int
+	// Unchanged reports that the module is byte-identical to the previous
+	// snapshot: every object's server-reported STAT hash matched the local
+	// copy, nothing was downloaded, nothing was removed. False on a first
+	// sync (nil prev) even for an empty module.
+	Unchanged bool
 }
 
 // SyncIncremental brings prev (a previous FetchAll/SyncIncremental result;
@@ -559,5 +564,9 @@ func (c *Client) SyncIncremental(ctx context.Context, uri URI, prev map[string][
 			res.Removed++
 		}
 	}
+	// Downloaded == 0 means every listed object was hash-verified against
+	// the previous snapshot; Removed == 0 means nothing vanished — together
+	// they prove byte-identity with prev.
+	res.Unchanged = prev != nil && res.Downloaded == 0 && res.Removed == 0
 	return res, nil
 }

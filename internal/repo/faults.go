@@ -46,6 +46,10 @@ type Faults struct {
 	// truncate serves named objects with half their body, then drops the
 	// connection.
 	truncate map[string]bool
+	// truncStat answers STAT for named objects with a torn response line
+	// (half the "OK <size> <hash>" reply), then drops the connection —
+	// the incremental sync protocol failing while plain GETs still work.
+	truncStat map[string]bool
 	// failN/failM: fail the first failN of every failM requests touching
 	// a name ("" keys module-level request faults). reqCount is the
 	// per-name request counter driving the cycle.
@@ -64,9 +68,10 @@ func NewFaults() *Faults {
 	return &Faults{
 		drop:     make(map[string]bool),
 		corrupt:  make(map[string]bool),
-		objDelay: make(map[string]time.Duration),
-		truncate: make(map[string]bool),
-		failN:    make(map[string]int),
+		objDelay:  make(map[string]time.Duration),
+		truncate:  make(map[string]bool),
+		truncStat: make(map[string]bool),
+		failN:     make(map[string]int),
 		failM:    make(map[string]int),
 		reqCount: make(map[string]int),
 	}
@@ -141,6 +146,16 @@ func (f *Faults) Truncate(name string) {
 	f.truncate[name] = true
 }
 
+// TruncateStat makes STAT responses for name tear mid-line (partial reply,
+// then a dropped connection) while leaving GET untouched — the fault that
+// breaks the incremental sync protocol specifically, so a client's
+// full-fetch fallback still succeeds.
+func (f *Faults) TruncateStat(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncStat[name] = true
+}
+
 // SetSlowLoris throttles every GET body to one byte per d — the Stalloris
 // pattern: the repository is "up" but a naive relying party stalls a worker
 // on it indefinitely. 0 disables.
@@ -175,6 +190,7 @@ func (f *Faults) Restore(name string) {
 		f.delay = 0
 		f.objDelay = make(map[string]time.Duration)
 		f.truncate = make(map[string]bool)
+		f.truncStat = make(map[string]bool)
 		f.failN = make(map[string]int)
 		f.failM = make(map[string]int)
 		f.reqCount = make(map[string]int)
@@ -187,6 +203,7 @@ func (f *Faults) Restore(name string) {
 	delete(f.corrupt, name)
 	delete(f.objDelay, name)
 	delete(f.truncate, name)
+	delete(f.truncStat, name)
 	delete(f.failN, name)
 	delete(f.failM, name)
 	delete(f.reqCount, name)
@@ -244,6 +261,15 @@ func (f *Faults) truncated(name string) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.truncate[name]
+}
+
+func (f *Faults) statTruncated(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.truncStat[name]
 }
 
 func (f *Faults) slowLorisDelay() time.Duration {

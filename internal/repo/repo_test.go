@@ -344,6 +344,9 @@ func TestSyncIncremental(t *testing.T) {
 	if res2.Downloaded != 0 || res2.Reused != 3 {
 		t.Fatalf("warm sync: downloaded=%d reused=%d", res2.Downloaded, res2.Reused)
 	}
+	if res.Unchanged || !res2.Unchanged {
+		t.Errorf("Unchanged: cold=%v warm=%v, want false/true", res.Unchanged, res2.Unchanged)
+	}
 
 	// One overwrite (same size!), one delete, one add.
 	store.Put("b.roa", []byte("ROA B")) // same length, different bytes
@@ -359,11 +362,49 @@ func TestSyncIncremental(t *testing.T) {
 	if res3.Reused != 1 || res3.Removed != 1 {
 		t.Errorf("delta sync: %+v", res3)
 	}
+	if res3.Unchanged {
+		t.Error("a delta sync must not report Unchanged")
+	}
 	if string(res3.Files["b.roa"]) != "ROA B" {
 		t.Error("changed content not refreshed")
 	}
 	if _, ok := res3.Files["c.mft"]; ok {
 		t.Error("deleted object should be gone")
+	}
+}
+
+func TestSyncIncrementalTruncatedStat(t *testing.T) {
+	// A torn STAT response line kills the incremental protocol, but plain
+	// GETs still work: a caller can always fall back to a clean full fetch.
+	uri, _, faults := startTestServer(t, map[string][]byte{"x.roa": []byte("content of x")})
+	c := &Client{
+		Timeout: time.Second,
+		Retry:   RetryPolicy{MaxRetries: 1, BaseDelay: time.Millisecond, Jitter: -1},
+	}
+	ctx := context.Background()
+	res, err := c.SyncIncremental(ctx, uri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.TruncateStat("x.roa")
+	if _, err := c.SyncIncremental(ctx, uri, res.Files); err == nil {
+		t.Fatal("torn STAT must fail the incremental sync, not silently reuse")
+	}
+	files, err := c.FetchAll(ctx, uri)
+	if err != nil {
+		t.Fatalf("full fetch must survive a STAT-only fault: %v", err)
+	}
+	if string(files["x.roa"]) != "content of x" {
+		t.Error("full fetch served wrong bytes")
+	}
+	// The fault clears: the incremental path recovers.
+	faults.Restore("x.roa")
+	res2, err := c.SyncIncremental(ctx, uri, res.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reused != 1 || !res2.Unchanged {
+		t.Errorf("recovered sync: %+v", res2)
 	}
 }
 

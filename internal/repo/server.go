@@ -339,6 +339,14 @@ func (s *Server) serveStat(w *bufio.Writer, module, name string) bool {
 		content = corruptBytes(content)
 	}
 	sum := sha256.Sum256(content)
+	if m.Faults.statTruncated(name) {
+		// Tear the response line in half and drop the connection: the
+		// incremental protocol fails while GET still serves cleanly.
+		line := fmt.Sprintf("OK %d %s", len(content), hex.EncodeToString(sum[:]))
+		_, _ = w.WriteString(line[:len(line)/2])
+		_ = w.Flush()
+		return false
+	}
 	return writeLine(w, "OK %d %s", len(content), hex.EncodeToString(sum[:])) == nil
 }
 

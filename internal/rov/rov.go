@@ -72,6 +72,60 @@ func (v VRP) String() string {
 // "covering ROA" test, which ignores ASN and maxLength).
 func (v VRP) Covers(p ipres.Prefix) bool { return v.Prefix.Covers(p) }
 
+// Compare orders VRPs canonically: by prefix, then ASN, then maxLength.
+// This is the one ordering used everywhere a VRP set crosses a boundary —
+// relying-party output, RTR deltas, diffing — so independently computed
+// sets compare byte-for-byte.
+func (v VRP) Compare(o VRP) int {
+	if c := v.Prefix.Cmp(o.Prefix); c != 0 {
+		return c
+	}
+	if v.ASN != o.ASN {
+		if v.ASN < o.ASN {
+			return -1
+		}
+		return 1
+	}
+	if v.MaxLength != o.MaxLength {
+		if v.MaxLength < o.MaxLength {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortVRPs sorts vrps in place into canonical order (see VRP.Compare).
+func SortVRPs(vrps []VRP) {
+	sort.Slice(vrps, func(i, j int) bool { return vrps[i].Compare(vrps[j]) < 0 })
+}
+
+// DiffVRPs computes the set difference between two canonically sorted,
+// duplicate-free VRP sets in one merge pass: announced holds the VRPs in
+// next but not prev, withdrawn those in prev but not next, both in
+// canonical order. An unchanged set yields two nil slices without
+// allocating, which is what makes a steady-state polling loop's
+// RP→RTR hand-off a true no-op.
+func DiffVRPs(prev, next []VRP) (announced, withdrawn []VRP) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch c := prev[i].Compare(next[j]); {
+		case c == 0:
+			i++
+			j++
+		case c < 0:
+			withdrawn = append(withdrawn, prev[i])
+			i++
+		default:
+			announced = append(announced, next[j])
+			j++
+		}
+	}
+	withdrawn = append(withdrawn, prev[i:]...)
+	announced = append(announced, next[j:]...)
+	return announced, withdrawn
+}
+
 // Matches reports whether the VRP authorizes the route (the "matching ROA"
 // test: origin matches, prefix covered, length within maxLength).
 func (v VRP) Matches(r Route) bool {

@@ -368,3 +368,107 @@ func TestValidityGridDegenerateInputs(t *testing.T) {
 		t.Errorf("got %v", cells)
 	}
 }
+
+func TestSortAndDiffVRPs(t *testing.T) {
+	base := figure2VRPs()
+	shuffled := append([]VRP(nil), base...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	SortVRPs(shuffled)
+	for i := 1; i < len(shuffled); i++ {
+		if shuffled[i-1].Compare(shuffled[i]) >= 0 {
+			t.Fatalf("not in canonical order at %d: %v >= %v", i, shuffled[i-1], shuffled[i])
+		}
+	}
+
+	// Identical sets diff to nothing — and allocate nothing.
+	ann, wd := DiffVRPs(shuffled, shuffled)
+	if ann != nil || wd != nil {
+		t.Errorf("identical sets produced diff: +%v -%v", ann, wd)
+	}
+
+	// One VRP replaced by another: exactly one announce and one withdraw.
+	next := append([]VRP(nil), shuffled...)
+	old := next[3]
+	replacement := VRP{Prefix: ipres.MustParsePrefix("10.0.0.0/8"), MaxLength: 8, ASN: 65000}
+	next[3] = replacement
+	SortVRPs(next)
+	ann, wd = DiffVRPs(shuffled, next)
+	if len(ann) != 1 || ann[0] != replacement {
+		t.Errorf("announced = %v, want [%v]", ann, replacement)
+	}
+	if len(wd) != 1 || wd[0] != old {
+		t.Errorf("withdrawn = %v, want [%v]", wd, old)
+	}
+
+	// Empty ↔ full.
+	ann, wd = DiffVRPs(nil, shuffled)
+	if len(ann) != len(shuffled) || len(wd) != 0 {
+		t.Errorf("from empty: +%d -%d", len(ann), len(wd))
+	}
+	ann, wd = DiffVRPs(shuffled, nil)
+	if len(ann) != 0 || len(wd) != len(shuffled) {
+		t.Errorf("to empty: +%d -%d", len(ann), len(wd))
+	}
+}
+
+func TestDiffVRPsRandomizedAgainstMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2013))
+	randVRP := func() VRP {
+		p, err := ipres.PrefixFrom(ipres.AddrFromUint32(rng.Uint32()&0xFFFF0000), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return VRP{Prefix: p, MaxLength: 16 + rng.Intn(9), ASN: ipres.ASN(rng.Intn(8))}
+	}
+	for trial := 0; trial < 50; trial++ {
+		mk := func(n int) []VRP {
+			seen := make(map[VRP]bool)
+			for len(seen) < n {
+				seen[randVRP()] = true
+			}
+			out := make([]VRP, 0, n)
+			for v := range seen {
+				out = append(out, v)
+			}
+			SortVRPs(out)
+			return out
+		}
+		prev, next := mk(rng.Intn(40)), mk(rng.Intn(40))
+		ann, wd := DiffVRPs(prev, next)
+		prevSet := make(map[VRP]bool)
+		for _, v := range prev {
+			prevSet[v] = true
+		}
+		nextSet := make(map[VRP]bool)
+		for _, v := range next {
+			nextSet[v] = true
+		}
+		for _, v := range ann {
+			if prevSet[v] || !nextSet[v] {
+				t.Fatalf("trial %d: bad announce %v", trial, v)
+			}
+		}
+		for _, v := range wd {
+			if !prevSet[v] || nextSet[v] {
+				t.Fatalf("trial %d: bad withdraw %v", trial, v)
+			}
+		}
+		wantAnn := 0
+		for _, v := range next {
+			if !prevSet[v] {
+				wantAnn++
+			}
+		}
+		wantWd := 0
+		for _, v := range prev {
+			if !nextSet[v] {
+				wantWd++
+			}
+		}
+		if len(ann) != wantAnn || len(wd) != wantWd {
+			t.Fatalf("trial %d: diff sizes +%d -%d, want +%d -%d", trial, len(ann), len(wd), wantAnn, wantWd)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package rp
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/repo"
+	"repro/internal/roa"
+	"repro/internal/rov"
+)
+
+// issueR2 publishes a second ROA under the child authority, changing the
+// child module's bytes (new object + republished manifest and CRL).
+func issueR2(t *testing.T, w *tcpWorld) {
+	t.Helper()
+	if _, err := w.child.IssueROA("r2", 1239, roa.MustParsePrefix("63.168.0.0/13")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalTruncatedStatFallsBackToFullFetch: when the STAT protocol
+// tears mid-line, the relying party must replace the incremental sync with a
+// clean full fetch — and the result must reflect the server's CURRENT world,
+// not the cached snapshot.
+func TestIncrementalTruncatedStatFallsBackToFullFetch(t *testing.T) {
+	w := buildTCPWorld(t)
+	relying := New(Config{
+		Fetcher:        resilientClient(1),
+		Clock:          clock,
+		CacheSnapshots: true,
+	}, w.anchor)
+	first, err := relying.Sync(context.Background())
+	if err != nil || first.Incomplete() {
+		t.Fatalf("cold sync: %v %v", err, first.Diagnostics)
+	}
+
+	// The world changes (a new ROA appears) AND the incremental protocol
+	// breaks on an unchanged object: a stale reuse would miss the new ROA.
+	issueR2(t, w)
+	w.childFaults.TruncateStat("r.roa")
+	second, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Incomplete() {
+		t.Fatalf("fallback sync should be clean, diags: %v", second.Diagnostics)
+	}
+	if second.IncrementalFallbacks != 1 {
+		t.Errorf("IncrementalFallbacks = %d, want 1", second.IncrementalFallbacks)
+	}
+	if second.Retries == 0 {
+		t.Error("the torn STAT should have been retried before falling back")
+	}
+	// The fallback must serve the new world: compare against a from-scratch
+	// full validation (which never STATs, so the fault is invisible to it).
+	fresh, err := New(Config{Fetcher: resilientClient(0), Clock: clock}, w.anchor).Sync(context.Background())
+	if err != nil || fresh.Incomplete() {
+		t.Fatalf("fresh baseline: %v %v", err, fresh.Diagnostics)
+	}
+	if !reflect.DeepEqual(second.VRPs, fresh.VRPs) {
+		t.Errorf("fallback diverged from fresh validation:\n%v\n%v", second.VRPs, fresh.VRPs)
+	}
+	if len(second.VRPs) != len(first.VRPs)+1 {
+		t.Errorf("new ROA missing after fallback: %d VRPs, want %d", len(second.VRPs), len(first.VRPs)+1)
+	}
+}
+
+// TestIncrementalCorruptObjectNeverSilentlyStale: an object that the server
+// corrupts after the relying party cached a clean copy must surface as a
+// diagnostic — the incremental sync downloads the corrupted bytes and the
+// manifest cross-check rejects them. Keeping the (manifest-consistent!)
+// cached copy would be the silent-staleness bug.
+func TestIncrementalCorruptObjectNeverSilentlyStale(t *testing.T) {
+	w := buildTCPWorld(t)
+	relying := New(Config{
+		Fetcher:        resilientClient(1),
+		Clock:          clock,
+		CacheSnapshots: true,
+	}, w.anchor)
+	first, err := relying.Sync(context.Background())
+	if err != nil || first.Incomplete() {
+		t.Fatalf("cold sync: %v %v", err, first.Diagnostics)
+	}
+	if first.Index().State(childRoute) != rov.Valid {
+		t.Fatal("baseline route should be Valid")
+	}
+
+	// Corruption flips the served hash, so STAT disagrees with the cached
+	// copy and the sync downloads the corrupted bytes.
+	w.childFaults.Corrupt("r.roa")
+	second, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Incomplete() || !hasDiag(second, DiagHashMismatch, "child") {
+		t.Fatalf("corruption must be diagnosed, got %v", second.Diagnostics)
+	}
+	if second.Index().State(childRoute) == rov.Valid {
+		t.Error("corrupted ROA must not keep the route Valid via the cached copy")
+	}
+
+	// The fault clears: the next incremental sync restores the clean world
+	// (and the tainted verdict must not have poisoned the module memo).
+	w.childFaults.Restore("")
+	third, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Incomplete() {
+		t.Fatalf("recovered sync should be clean, diags: %v", third.Diagnostics)
+	}
+	if third.Index().State(childRoute) != rov.Valid {
+		t.Error("route should be Valid again after recovery")
+	}
+}
+
+// TestIncrementalHashFlipMidSync: the repository republishes between the
+// relying party's STAT requests, so the incremental sync assembles a torn
+// view — part old world, part new. The manifest cross-check must flag the
+// tear (missing or mismatched objects); a clean verdict over the torn set
+// would be silent staleness. The next sync then converges on the new world.
+func TestIncrementalHashFlipMidSync(t *testing.T) {
+	w := buildTCPWorld(t)
+	relying := New(Config{
+		Fetcher:        resilientClient(1),
+		Clock:          clock,
+		CacheSnapshots: true,
+	}, w.anchor)
+	first, err := relying.Sync(context.Background())
+	if err != nil || first.Incomplete() {
+		t.Fatalf("cold sync: %v %v", err, first.Diagnostics)
+	}
+
+	// The child module's warm sync issues LIST, then STATs objects in sorted
+	// order (child.crl, child.mft, r.roa). Republishing on request 3 lands
+	// the flip between two STATs: the CRL is reused from the old world while
+	// the manifest downloads from the new one.
+	var flipOnce sync.Once
+	var flipErr error
+	w.childFaults.SetScript(func(requestN int) repo.FaultAction {
+		if requestN == 3 {
+			flipOnce.Do(func() {
+				_, flipErr = w.child.IssueROA("r2", 1239, roa.MustParsePrefix("63.168.0.0/13"))
+			})
+		}
+		return repo.ActNone
+	})
+	second, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipErr != nil {
+		t.Fatal(flipErr)
+	}
+	w.childFaults.SetScript(nil)
+	if !second.Incomplete() {
+		t.Fatalf("a torn view must be diagnosed, got a clean result with %d VRPs", len(second.VRPs))
+	}
+	if !hasDiag(second, DiagMissingObject, "child") && !hasDiag(second, DiagHashMismatch, "child") {
+		t.Errorf("want missing-object or hash-mismatch on the torn module, got %v", second.Diagnostics)
+	}
+
+	// The tear is transient by construction: the very next sync sees a
+	// stable world and must converge cleanly on it.
+	third, err := relying.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Incomplete() {
+		t.Fatalf("post-flip sync should be clean, diags: %v", third.Diagnostics)
+	}
+	fresh, err := New(Config{Fetcher: resilientClient(0), Clock: clock}, w.anchor).Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(third.VRPs, fresh.VRPs) {
+		t.Errorf("converged sync diverged from fresh validation:\n%v\n%v", third.VRPs, fresh.VRPs)
+	}
+	if len(third.VRPs) != len(first.VRPs)+1 {
+		t.Errorf("new ROA missing after convergence: %d VRPs, want %d", len(third.VRPs), len(first.VRPs)+1)
+	}
+}

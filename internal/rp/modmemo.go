@@ -1,0 +1,262 @@
+// Module-level validation memoization: the steady-state fast path.
+//
+// A relying party polling an unchanged world still pays O(all objects) per
+// sync — every byte re-hashed, every manifest cross-checked, every chain
+// re-walked — which is exactly the cost Stalloris-style adversaries inflate.
+// This file caches, per publication point ("module"), the complete validated
+// outputs of the last clean validation: VRPs, accepted-object counters, and
+// the child CAs whose walks the module spawns. A later sync that can prove
+// the module's bytes are unchanged AND that the cached verdicts are still
+// within their temporal epoch reuses those outputs wholesale, skipping
+// hashing, manifest cross-checks, and chain validation entirely.
+//
+// Unchanged-ness is established by one of three tiers, cheapest first:
+//
+//  1. the fetcher reports a store version (VersionedFetcher) equal to the
+//     one recorded when the entry was validated — no fetch at all;
+//  2. the incremental fetch protocol reports every object's STAT hash
+//     unchanged (repo.SyncResult.Unchanged) — network round-trips but no
+//     object transfer and no local re-validation;
+//  3. the fetched bytes compare equal to the entry's snapshot — a memcmp,
+//     still far cheaper than hashing plus signature verification.
+//
+// Reuse is safe only inside the entry's temporal epoch: the intersection of
+// every validated certificate's validity window, the manifest's nextUpdate,
+// and the winning CRL's nextUpdate. Outside that window a re-validation
+// could flip verdicts even though no byte changed, so the entry is ignored
+// and the module is re-validated. Revocation and resource-containment
+// verdicts cannot drift inside the epoch when the bytes (including the CRL)
+// are unchanged and the issuing authority is unchanged.
+//
+// The authority matters as much as the bytes: a grandparent re-issuing a
+// shrunken child certificate (the paper's certificate-whacking, Side Effect
+// 2) changes a module's outcome without touching the module. Entries are
+// therefore keyed on the SHA-256 of the issuing authority's certificate and
+// on the effective resource set inherited down the chain; either changing
+// forces a full re-validation.
+//
+// Only clean validations are cached — a module that produced any diagnostic
+// deletes its entry — so reuse can never replay a degraded result.
+package rp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/ipres"
+	"repro/internal/repo"
+	"repro/internal/rov"
+)
+
+// VersionedFetcher is optionally implemented by fetchers that can report a
+// cheap monotonic version for a publication point's backing store
+// (StoreFetcher does, via repo.Store.Version). A version equal to the one
+// recorded at validation time proves the module unchanged without fetching.
+// The version is read BEFORE any fetch, so a store mutating mid-sync can
+// only cause a spurious re-validation, never a false reuse.
+type VersionedFetcher interface {
+	Fetcher
+	// SnapshotVersion returns the current version of the point's store and
+	// whether a version is available for it.
+	SnapshotVersion(uri repo.URI) (uint64, bool)
+}
+
+// childLink records one validated child CA discovered in a module, enough
+// to re-spawn its publication-point walk on reuse.
+type childLink struct {
+	cert      *cert.ResourceCert
+	effective ipres.Set
+	uri       repo.URI
+}
+
+// moduleEntry is one module's cached validation outcome.
+type moduleEntry struct {
+	// authorityHash and effective identify the validation context: SHA-256
+	// of the issuing authority's DER certificate, and the effective resource
+	// set handed down the chain. A mismatch means the module must be
+	// re-validated even if its own bytes are unchanged.
+	authorityHash [32]byte
+	effective     ipres.Set
+	// version is the fetcher-reported store version at validation time
+	// (valid only when hasVersion).
+	version    uint64
+	hasVersion bool
+	// files is the exact snapshot the entry was validated from.
+	files map[string][]byte
+	// notBefore/notAfter bound the epoch inside which the cached verdicts
+	// are time-invariant: max of all validated certs' notBefore, and min of
+	// cert notAfters, manifest nextUpdate, and winning CRL nextUpdate.
+	// Zero values mean unbounded on that side.
+	notBefore, notAfter time.Time
+	// Validated outputs.
+	vrps     []rov.VRP
+	roas     int
+	certs    int
+	children []childLink
+}
+
+// matches reports whether the entry was validated under the same issuing
+// authority and effective resource set.
+func (e *moduleEntry) matches(authority *cert.ResourceCert, effective ipres.Set) bool {
+	return e.authorityHash == authorityDigest(authority) && e.effective.Equal(effective)
+}
+
+// within reports whether now falls inside the entry's temporal epoch.
+func (e *moduleEntry) within(now time.Time) bool {
+	if !e.notBefore.IsZero() && now.Before(e.notBefore) {
+		return false
+	}
+	if !e.notAfter.IsZero() && now.After(e.notAfter) {
+		return false
+	}
+	return true
+}
+
+// moduleMemo holds moduleEntry values across Sync calls, keyed by module
+// name. Nil when DisableModuleReuse is set.
+type moduleMemo struct {
+	mu      sync.Mutex
+	entries map[string]*moduleEntry
+}
+
+func newModuleMemo() *moduleMemo {
+	return &moduleMemo{entries: make(map[string]*moduleEntry)}
+}
+
+func (m *moduleMemo) get(module string) *moduleEntry {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entries[module]
+}
+
+func (m *moduleMemo) put(module string, e *moduleEntry) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[module] = e
+}
+
+func (m *moduleMemo) delete(module string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, module)
+}
+
+// refreshVersion updates an entry's recorded store version after a reuse
+// that proved unchanged-ness by tier 2 or 3, so the next sync can take the
+// cheaper tier-1 path.
+func (m *moduleMemo) refreshVersion(module string, version uint64, hasVersion bool) {
+	if m == nil || !hasVersion {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[module]; ok {
+		e.version, e.hasVersion = version, true
+	}
+}
+
+// sameFiles reports whether two snapshots are byte-identical (tier 3).
+func sameFiles(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ac := range a {
+		bc, ok := b[name]
+		if !ok || !bytes.Equal(ac, bc) {
+			return false
+		}
+	}
+	return true
+}
+
+// moduleBuild accumulates one walk's per-module outputs so they can be
+// merged into the sync result and, when clean, committed to the memo. Its
+// WaitGroup tracks the module's own object tasks (not child walks); the
+// committer goroutine waits on it before merging.
+type moduleBuild struct {
+	// memoizable is false when the files came from a degraded source (LKG
+	// fallback or a partial fetch): the walk still validates and merges, but
+	// neither commits nor deletes a memo entry, because the bytes validated
+	// do not correspond to the point's current snapshot.
+	memoizable bool
+	version    uint64
+	hasVersion bool
+	files      map[string][]byte
+
+	wg sync.WaitGroup
+
+	mu                  sync.Mutex
+	diags               int
+	vrps                []rov.VRP
+	roas                int
+	certs               int
+	children            []childLink
+	notBefore, notAfter time.Time
+}
+
+// observeCert folds a validated certificate's validity window into the
+// epoch accumulators.
+func (mb *moduleBuild) observeCert(c *cert.ResourceCert) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if nb := c.NotBefore(); mb.notBefore.IsZero() || nb.After(mb.notBefore) {
+		mb.notBefore = nb
+	}
+	if na := c.NotAfter(); mb.notAfter.IsZero() || na.Before(mb.notAfter) {
+		mb.notAfter = na
+	}
+}
+
+// observeNotAfter folds a freshness deadline (manifest or CRL nextUpdate)
+// into the epoch's upper bound.
+func (mb *moduleBuild) observeNotAfter(t time.Time) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if !t.IsZero() && (mb.notAfter.IsZero() || t.Before(mb.notAfter)) {
+		mb.notAfter = t
+	}
+}
+
+// diag emits a module diagnostic and taints the build: a tainted module
+// merges its outputs normally but never commits a memo entry.
+func (mb *moduleBuild) diag(st *syncState, kind DiagKind, module, object string, err error) {
+	mb.mu.Lock()
+	mb.diags++
+	mb.mu.Unlock()
+	st.diag(kind, module, object, err)
+}
+
+func (mb *moduleBuild) addROA(vrps []rov.VRP) {
+	mb.mu.Lock()
+	mb.roas++
+	mb.vrps = append(mb.vrps, vrps...)
+	mb.mu.Unlock()
+}
+
+func (mb *moduleBuild) addCert() {
+	mb.mu.Lock()
+	mb.certs++
+	mb.mu.Unlock()
+}
+
+func (mb *moduleBuild) addChild(link childLink) {
+	mb.mu.Lock()
+	mb.children = append(mb.children, link)
+	mb.mu.Unlock()
+}
+
+func authorityDigest(authority *cert.ResourceCert) [32]byte {
+	return sha256.Sum256(authority.Raw)
+}

@@ -80,6 +80,16 @@ func (s StoreFetcher) FetchAll(_ context.Context, uri repo.URI) (map[string][]by
 	return store.Snapshot(), nil
 }
 
+// SnapshotVersion implements VersionedFetcher: the store's mutation counter
+// proves a point unchanged without copying a byte.
+func (s StoreFetcher) SnapshotVersion(uri repo.URI) (uint64, bool) {
+	store, ok := s[uri.Module]
+	if !ok {
+		return 0, false
+	}
+	return store.Version(), true
+}
+
 // MissingPolicy selects the relying party's reaction to manifest trouble —
 // the open problem the paper highlights ("what to do about incomplete
 // information?").
@@ -200,6 +210,12 @@ type Config struct {
 	// republished objects never return stale verdicts; time, revocation
 	// and resource-containment checks are always re-evaluated.
 	DisableVerifyCache bool
+	// DisableModuleReuse turns off module-level validation memoization (see
+	// modmemo.go): with it set, every sync re-validates every publication
+	// point even when its bytes are provably unchanged. The knob exists for
+	// baseline benchmarking and for callers that want the per-object verify
+	// cache's behavior in isolation.
+	DisableModuleReuse bool
 }
 
 func (c Config) workers() int {
@@ -224,6 +240,9 @@ type RelyingParty struct {
 	// lkg holds last-known-good snapshots across Sync calls (nil when
 	// StaleTTL is 0).
 	lkg *lkgStore
+	// memo holds module-level validation outcomes across Sync calls (nil
+	// when DisableModuleReuse is set).
+	memo *moduleMemo
 }
 
 // New creates a relying party over the given trust anchors.
@@ -241,6 +260,9 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 	}
 	if cfg.StaleTTL > 0 {
 		rp.lkg = newLKGStore()
+	}
+	if !cfg.DisableModuleReuse {
+		rp.memo = newModuleMemo()
 	}
 	return rp
 }
@@ -281,6 +303,16 @@ type Result struct {
 	// StaleFallbacks counts publication points served from the
 	// last-known-good store this sync.
 	StaleFallbacks int
+	// ModulesReused counts publication points whose validated outputs were
+	// reused wholesale this sync (provably unchanged bytes inside the
+	// cached epoch — see modmemo.go); ModulesRevalidated counts points
+	// that went through full validation. Exact at any worker count, so a
+	// steady-state poll of an unchanged world shows ModulesRevalidated==0.
+	ModulesReused, ModulesRevalidated int
+	// IncrementalFallbacks counts publication points whose incremental
+	// (STAT-driven) sync failed mid-protocol and was replaced by a clean
+	// full fetch — the never-silently-stale escape hatch.
+	IncrementalFallbacks int
 }
 
 // DegradationReporter is optionally implemented by fetchers that count
@@ -359,7 +391,7 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 			}
 		}
 	}
-	sortVRPs(res.VRPs)
+	rov.SortVRPs(res.VRPs)
 	sortDiagnostics(res.Diagnostics)
 	res.VerifyCacheHits = int(st.cacheHits.Load())
 	res.VerifyCacheMisses = int(st.cacheMisses.Load())
@@ -370,18 +402,6 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		res.BreakerFastFails = int(after.BreakerFastFails - statsBefore.BreakerFastFails)
 	}
 	return res, nil
-}
-
-func sortVRPs(vrps []rov.VRP) {
-	sort.Slice(vrps, func(i, j int) bool {
-		if c := vrps[i].Prefix.Cmp(vrps[j].Prefix); c != 0 {
-			return c < 0
-		}
-		if vrps[i].ASN != vrps[j].ASN {
-			return vrps[i].ASN < vrps[j].ASN
-		}
-		return vrps[i].MaxLength < vrps[j].MaxLength
-	})
 }
 
 // sortDiagnostics puts diagnostics into canonical order so the result is
@@ -470,7 +490,10 @@ func (st *syncState) diag(kind DiagKind, module, object string, err error) {
 
 // walk validates one authority's publication point, fanning its objects out
 // across the worker pool, and spawns child-authority walks as soon as each
-// child certificate validates.
+// child certificate validates. A point provably unchanged since its last
+// clean validation (and still inside that validation's temporal epoch) is
+// not validated at all: its cached outputs are merged wholesale (see
+// modmemo.go).
 func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int) {
 	if depth <= 0 {
 		st.diag(DiagInvalidObject, uri.Module, "", fmt.Errorf("hierarchy too deep"))
@@ -483,23 +506,54 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 	st.mu.Lock()
 	st.res.PubPointsVisited++
 	st.mu.Unlock()
-	files, err := st.rp.fetch(st.ctx, st, uri)
+	now := st.rp.now()
+
+	// Reuse tier 1: the fetcher can prove the backing store unchanged, so
+	// the fetch itself is skipped. The version is read before any fetch: a
+	// store mutating concurrently costs a re-validation, never a stale reuse.
+	var storeVersion uint64
+	var hasVersion bool
+	if vf, ok := st.rp.cfg.Fetcher.(VersionedFetcher); ok && st.rp.memo != nil {
+		storeVersion, hasVersion = vf.SnapshotVersion(uri)
+	}
+	if hasVersion {
+		if e := st.rp.memo.get(uri.Module); e != nil && e.hasVersion && e.version == storeVersion &&
+			e.matches(authority, effective) && e.within(now) {
+			st.reuseModule(e, uri, depth)
+			return
+		}
+	}
+
+	files, unchanged, err := st.rp.fetch(st.ctx, st, uri)
 	if err != nil && st.ctx.Err() != nil {
 		// Cancellation is an abort, not incompleteness: no diagnostic.
 		st.setErr(st.ctx.Err())
 		return
 	}
+	mb := &moduleBuild{memoizable: err == nil, version: storeVersion, hasVersion: hasVersion}
 	switch {
 	case err != nil && len(files) == 0:
 		if files = st.lkgFallback(uri, err); files == nil {
 			return
 		}
 	case err != nil:
-		st.diag(DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
+		mb.diag(st, DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
 	default:
 		st.recordFetched(uri.Module, files)
+		// Reuse tiers 2 and 3: fetched, but byte-identical to the cached
+		// entry's snapshot — either every STAT hash matched server-side
+		// (unchanged) or the bytes compare equal locally.
+		if e := st.rp.memo.get(uri.Module); e != nil && e.matches(authority, effective) && e.within(now) &&
+			(unchanged || sameFiles(files, e.files)) {
+			st.rp.memo.refreshVersion(uri.Module, storeVersion, hasVersion)
+			st.reuseModule(e, uri, depth)
+			return
+		}
 	}
-	now := st.rp.now()
+	mb.files = files
+	st.mu.Lock()
+	st.res.ModulesRevalidated++
+	st.mu.Unlock()
 
 	// Hash every fetched object exactly once, in parallel chunks. The
 	// digests drive both the manifest cross-check and per-object admission
@@ -546,13 +600,15 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		st.run(func() {
 			signed, err := st.rp.cache.parseManifest(st, hashes[mftName], raw)
 			if err != nil {
-				st.diag(DiagInvalidObject, uri.Module, mftName, err)
+				mb.diag(st, DiagInvalidObject, uri.Module, mftName, err)
 			} else if _, err := cert.ValidateChild(authority, effective, signed.EE, st.vctx(now, nil)); err != nil {
-				st.diag(DiagInvalidObject, uri.Module, mftName, err)
+				mb.diag(st, DiagInvalidObject, uri.Module, mftName, err)
 			} else {
 				mft = signed.Manifest
+				mb.observeCert(signed.EE)
+				mb.observeNotAfter(mft.NextUpdate)
 				if mft.Stale(now) {
-					st.diag(DiagStaleManifest, uri.Module, mftName, fmt.Errorf("nextUpdate %v", mft.NextUpdate))
+					mb.diag(st, DiagStaleManifest, uri.Module, mftName, fmt.Errorf("nextUpdate %v", mft.NextUpdate))
 					if st.rp.cfg.RequireFreshManifest {
 						mft = nil
 					}
@@ -560,10 +616,11 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 			}
 		})
 	} else {
-		st.diag(DiagMissingManifest, uri.Module, mftName, fmt.Errorf("manifest absent"))
+		mb.diag(st, DiagMissingManifest, uri.Module, mftName, fmt.Errorf("manifest absent"))
 	}
 	if mft == nil && st.rp.cfg.Policy == DropPublicationPoint {
-		st.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("no usable manifest"))
+		mb.diag(st, DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("no usable manifest"))
+		st.commitModule(uri, authority, effective, mb)
 		return
 	}
 
@@ -576,19 +633,20 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		for _, name := range mft.Names() {
 			hash, ok := hashes[name]
 			if !ok {
-				st.diag(DiagMissingObject, uri.Module, name, fmt.Errorf("listed on manifest, not served"))
+				mb.diag(st, DiagMissingObject, uri.Module, name, fmt.Errorf("listed on manifest, not served"))
 				manifestOK = false
 				continue
 			}
 			if err := mft.VerifyHash(name, hash); err != nil {
-				st.diag(DiagHashMismatch, uri.Module, name, err)
+				mb.diag(st, DiagHashMismatch, uri.Module, name, err)
 				badObject[name] = true
 				manifestOK = false
 			}
 		}
 	}
 	if !manifestOK && st.rp.cfg.Policy == DropPublicationPoint {
-		st.diag(DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("manifest inconsistency"))
+		mb.diag(st, DiagDroppedPubPoint, uri.Module, "", fmt.Errorf("manifest inconsistency"))
+		st.commitModule(uri, authority, effective, mb)
 		return
 	}
 
@@ -603,15 +661,20 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		st.run(func() {
 			parsed, err := st.rp.cache.parseCRL(st, hashes[name], raw)
 			if err != nil {
-				st.diag(DiagInvalidObject, uri.Module, name, err)
+				mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 				return
 			}
 			if err := st.rp.sigCache().VerifyCRL(authority, parsed); err != nil {
-				st.diag(DiagInvalidObject, uri.Module, name, err)
+				mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 				return
 			}
 			crl = parsed
 		})
+	}
+	if crl != nil {
+		// The winning CRL bounds the reuse epoch: past its nextUpdate a
+		// re-validation would flag it stale, so the cached verdicts expire.
+		mb.observeNotAfter(crl.List.NextUpdate)
 	}
 
 	// Validate ROAs and recurse into child certificates. Every object is
@@ -622,12 +685,75 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 			continue // mismatch already diagnosed by the cross-check
 		}
 		name := name
+		mb.wg.Add(1)
 		st.spawn(func() {
+			defer mb.wg.Done()
 			st.run(func() {
-				st.processObject(authority, effective, uri, depth, now, crl, mft, mftName, name, files[name], hashes[name])
+				st.processObject(mb, authority, effective, uri, depth, now, crl, mft, mftName, name, files[name], hashes[name])
 			})
 		})
 	}
+	// The committer merges the module's outputs once its own object tasks
+	// are done (child walks are independent), then commits or deletes the
+	// memo entry. It holds no worker slot while waiting, so it cannot
+	// deadlock the pool.
+	st.spawn(func() {
+		mb.wg.Wait()
+		st.commitModule(uri, authority, effective, mb)
+	})
+}
+
+// reuseModule merges a cached module entry's outputs into the sync result
+// without re-validating anything, and re-spawns the module's child walks
+// (each child decides reuse for itself).
+func (st *syncState) reuseModule(e *moduleEntry, uri repo.URI, depth int) {
+	st.mu.Lock()
+	st.res.ModulesReused++
+	st.res.ROAsAccepted += e.roas
+	st.res.CertsAccepted += e.certs
+	st.res.VRPs = append(st.res.VRPs, e.vrps...)
+	st.mu.Unlock()
+	st.recordFetched(uri.Module, e.files)
+	for _, ch := range e.children {
+		ch := ch
+		st.spawn(func() { st.walk(ch.cert, ch.effective, ch.uri, depth-1) })
+	}
+}
+
+// commitModule merges a fully-validated module's outputs into the sync
+// result and updates the memo: a clean validation of a faithfully-fetched
+// snapshot commits an entry, any diagnostic deletes the stale one. Degraded
+// sources (LKG fallback, partial fetch) merge without touching the memo —
+// their bytes do not correspond to the point's current snapshot.
+func (st *syncState) commitModule(uri repo.URI, authority *cert.ResourceCert, effective ipres.Set, mb *moduleBuild) {
+	mb.mu.Lock()
+	clean := mb.diags == 0
+	mb.mu.Unlock()
+	st.mu.Lock()
+	st.res.ROAsAccepted += mb.roas
+	st.res.CertsAccepted += mb.certs
+	st.res.VRPs = append(st.res.VRPs, mb.vrps...)
+	st.mu.Unlock()
+	if !mb.memoizable || st.rp.memo == nil {
+		return
+	}
+	if !clean {
+		st.rp.memo.delete(uri.Module)
+		return
+	}
+	st.rp.memo.put(uri.Module, &moduleEntry{
+		authorityHash: authorityDigest(authority),
+		effective:     effective,
+		version:       mb.version,
+		hasVersion:    mb.hasVersion,
+		files:         mb.files,
+		notBefore:     mb.notBefore,
+		notAfter:      mb.notAfter,
+		vrps:          mb.vrps,
+		roas:          mb.roas,
+		certs:         mb.certs,
+		children:      mb.children,
+	})
 }
 
 // recordFetched remembers a point's cleanly-fetched files for the LKG
@@ -670,13 +796,14 @@ func (st *syncState) lkgFallback(uri repo.URI, ferr error) map[string][]byte {
 }
 
 // processObject admits one fetched object: manifest admission, then ROA
-// validation or child-CA chain validation. Runs under a worker slot.
-func (st *syncState) processObject(authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int, now time.Time, crl *cert.CRL, mft *manifest.Manifest, mftName, name string, raw []byte, hash [32]byte) {
+// validation or child-CA chain validation. Runs under a worker slot. Its
+// outputs accumulate on the moduleBuild; the committer merges them.
+func (st *syncState) processObject(mb *moduleBuild, authority *cert.ResourceCert, effective ipres.Set, uri repo.URI, depth int, now time.Time, crl *cert.CRL, mft *manifest.Manifest, mftName, name string, raw []byte, hash [32]byte) {
 	if mft != nil && name != mftName {
 		if err := mft.VerifyHash(name, hash); err != nil {
 			// Unlisted object: reject it outright; a repository must not
 			// smuggle objects past its manifest.
-			st.diag(DiagHashMismatch, uri.Module, name, err)
+			mb.diag(st, DiagHashMismatch, uri.Module, name, err)
 			return
 		}
 	}
@@ -685,23 +812,20 @@ func (st *syncState) processObject(authority *cert.ResourceCert, effective ipres
 	case strings.HasSuffix(name, ".roa"):
 		signed, err := st.rp.cache.parseROA(st, hash, raw)
 		if err != nil {
-			st.diag(DiagInvalidObject, uri.Module, name, err)
+			mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 			return
 		}
 		if _, err := cert.ValidateChild(authority, effective, signed.EE, ctxV); err != nil {
-			st.diag(DiagInvalidObject, uri.Module, name, err)
+			mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 			return
 		}
-		vrps := rov.FromROA(signed.ROA)
-		st.mu.Lock()
-		st.res.ROAsAccepted++
-		st.res.VRPs = append(st.res.VRPs, vrps...)
-		st.mu.Unlock()
+		mb.observeCert(signed.EE)
+		mb.addROA(rov.FromROA(signed.ROA))
 
 	case strings.HasSuffix(name, ".cer"):
 		child, err := st.rp.cache.parseCert(st, hash, raw)
 		if err != nil {
-			st.diag(DiagInvalidObject, uri.Module, name, err)
+			mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 			return
 		}
 		if !child.IsCA() {
@@ -713,17 +837,17 @@ func (st *syncState) processObject(authority *cert.ResourceCert, effective ipres
 		}
 		childEffective, err := cert.ValidateChild(authority, effective, child, ctxV)
 		if err != nil {
-			st.diag(DiagInvalidObject, uri.Module, name, err)
+			mb.diag(st, DiagInvalidObject, uri.Module, name, err)
 			return
 		}
-		st.mu.Lock()
-		st.res.CertsAccepted++
-		st.mu.Unlock()
+		mb.addCert()
+		mb.observeCert(child)
 		childURI, _, err := repo.ParseURI(strings.TrimSuffix(child.SIA.CARepository, "/"))
 		if err != nil {
-			st.diag(DiagInvalidObject, uri.Module, name, fmt.Errorf("bad SIA: %w", err))
+			mb.diag(st, DiagInvalidObject, uri.Module, name, fmt.Errorf("bad SIA: %w", err))
 			return
 		}
+		mb.addChild(childLink{cert: child, effective: childEffective, uri: childURI})
 		st.spawn(func() { st.walk(child, childEffective, childURI, depth-1) })
 	}
 }
@@ -743,18 +867,40 @@ func (rp *RelyingParty) sigCache() *cert.VerifyCache {
 }
 
 // fetch retrieves a publication point, using the fetcher's incremental
-// mode when snapshot caching is enabled and supported.
-func (rp *RelyingParty) fetch(ctx context.Context, st *syncState, uri repo.URI) (map[string][]byte, error) {
+// mode when snapshot caching is enabled and supported. The second return
+// reports whether the incremental protocol proved every object's hash
+// unchanged since the previous snapshot (reuse tier 2).
+func (rp *RelyingParty) fetch(ctx context.Context, st *syncState, uri repo.URI) (map[string][]byte, bool, error) {
 	inc, ok := rp.cfg.Fetcher.(IncrementalFetcher)
 	if !rp.cfg.CacheSnapshots || !ok {
-		return rp.cfg.Fetcher.FetchAll(ctx, uri)
+		files, err := rp.cfg.Fetcher.FetchAll(ctx, uri)
+		return files, false, err
 	}
 	rp.snapMu.Lock()
 	prev := rp.snapshots[uri.Module]
 	rp.snapMu.Unlock()
 	sync, err := inc.SyncIncremental(ctx, uri, prev)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			return nil, false, err
+		}
+		// The incremental protocol failed mid-flight — truncated STAT,
+		// an object flipping hashes between STAT and GET, a torn
+		// connection. Never stitch a possibly-inconsistent view together:
+		// fall back to one clean full fetch, and only if that too fails
+		// report the point unreachable.
+		files, ferr := inc.FetchAll(ctx, uri)
+		if ferr != nil {
+			return nil, false, ferr
+		}
+		rp.snapMu.Lock()
+		rp.snapshots[uri.Module] = files
+		rp.snapMu.Unlock()
+		st.mu.Lock()
+		st.res.IncrementalFallbacks++
+		st.res.ObjectsDownloaded += len(files)
+		st.mu.Unlock()
+		return files, false, nil
 	}
 	rp.snapMu.Lock()
 	rp.snapshots[uri.Module] = sync.Files
@@ -763,7 +909,7 @@ func (rp *RelyingParty) fetch(ctx context.Context, st *syncState, uri repo.URI) 
 	st.res.ObjectsDownloaded += sync.Downloaded
 	st.res.ObjectsReused += sync.Reused
 	st.mu.Unlock()
-	return sync.Files, nil
+	return sync.Files, sync.Unchanged, nil
 }
 
 // manifestName extracts the manifest object name from the authority's SIA,

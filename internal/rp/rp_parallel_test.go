@@ -110,10 +110,12 @@ func TestParallelDeterministic(t *testing.T) {
 
 // TestWarmCacheResync checks the verification cache: a second sync of an
 // unchanged world performs zero fresh verifications (all cache hits) and
-// produces identical output.
+// produces identical output. Module reuse is disabled so the per-object
+// cache layer is exercised in isolation (with it on, a warm sync would not
+// look objects up at all).
 func TestWarmCacheResync(t *testing.T) {
 	arin, _, _, stores := buildFigure2(t)
-	relying := New(Config{Fetcher: stores, Clock: clock, Workers: 4},
+	relying := New(Config{Fetcher: stores, Clock: clock, Workers: 4, DisableModuleReuse: true},
 		TrustAnchor{CertDER: arin.Cert.Raw, URI: arin.URI})
 	cold, err := relying.Sync(context.Background())
 	if err != nil {

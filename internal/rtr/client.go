@@ -5,7 +5,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -38,7 +37,7 @@ func (c *Client) OnSync(fn func([]rov.VRP)) {
 	c.onSync = fn
 }
 
-// VRPs returns the current VRP set, sorted.
+// VRPs returns the current VRP set, in canonical order.
 func (c *Client) VRPs() []rov.VRP {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -46,15 +45,7 @@ func (c *Client) VRPs() []rov.VRP {
 	for v := range c.vrps {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if x := out[i].Prefix.Cmp(out[j].Prefix); x != 0 {
-			return x < 0
-		}
-		if out[i].ASN != out[j].ASN {
-			return out[i].ASN < out[j].ASN
-		}
-		return out[i].MaxLength < out[j].MaxLength
-	})
+	rov.SortVRPs(out)
 	return out
 }
 

@@ -307,3 +307,117 @@ func TestErrorReportRoundTripEmpty(t *testing.T) {
 		t.Errorf("got %+v, %v", got, err)
 	}
 }
+
+// TestSetVRPsCanonicalNoOp: SetVRPs normalizes its input, so the same set
+// shuffled and with duplicates is a true no-op — no serial bump, no delta.
+func TestSetVRPsCanonicalNoOp(t *testing.T) {
+	c := NewCache(1)
+	v1 := vrp("10.0.0.0/8", 8, 1)
+	v2 := vrp("10.1.0.0/16", 24, 2)
+	v3 := vrp("2001:db8::/32", 48, 3)
+	c.SetVRPs([]rov.VRP{v1, v2, v3})
+	if c.Serial() != 1 {
+		t.Fatalf("serial = %d", c.Serial())
+	}
+	c.SetVRPs([]rov.VRP{v3, v1, v2, v1, v3}) // shuffled + duplicated
+	if c.Serial() != 1 {
+		t.Errorf("reordered duplicate update bumped serial to %d", c.Serial())
+	}
+	if entries, _, _ := c.HistoryStats(); entries != 1 {
+		t.Errorf("history entries = %d, want 1", entries)
+	}
+}
+
+// TestCacheHistoryBounds: the delta history stays inside every configured
+// bound no matter how many updates flow through, and out-of-window serial
+// queries fall back to Cache Reset.
+func TestCacheHistoryBounds(t *testing.T) {
+	c := NewCache(1)
+	c.SetHistoryLimits(8, 40, 1<<30)
+	for i := 0; i < 100; i++ {
+		c.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, ipres.ASN(i+1))})
+		entries, vrpsN, bytes := c.HistoryStats()
+		if entries > 8 || vrpsN > 40 {
+			t.Fatalf("update %d: history entries=%d vrps=%d bytes=%d exceeds bounds", i, entries, vrpsN, bytes)
+		}
+	}
+	if c.Serial() != 100 {
+		t.Fatalf("serial = %d", c.Serial())
+	}
+	// A serial inside the retained window replays deltas.
+	if _, _, ok := c.deltaFrames(99); !ok {
+		t.Error("recent serial should be in window")
+	}
+	// A serial older than the window is refused (server answers CacheReset).
+	if _, _, ok := c.deltaFrames(5); ok {
+		t.Error("ancient serial should be out of window")
+	}
+
+	// The byte budget alone must also bound the history.
+	cb := NewCache(2)
+	cb.SetHistoryLimits(1<<30, 1<<30, 200)
+	for i := 0; i < 50; i++ {
+		cb.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, ipres.ASN(i+1))})
+		if _, _, bytes := cb.HistoryStats(); bytes > 200 {
+			t.Fatalf("update %d: history bytes=%d exceeds budget", i, bytes)
+		}
+	}
+}
+
+// TestRTRManyClientsFanOut: one cache serves a full snapshot and a
+// subsequent minimal delta to 100 concurrent clients, every client
+// converging on the same canonical VRP set. The snapshot and delta frames
+// are serialized once and shared; per-client work is only the writes.
+func TestRTRManyClientsFanOut(t *testing.T) {
+	const nClients = 100
+	cache := NewCache(42)
+	var vrps []rov.VRP
+	for i := 0; i < 500; i++ {
+		p := ipres.MustPrefixFrom(ipres.AddrFromUint32(0x0a000000+uint32(i)<<8), 24)
+		vrps = append(vrps, rov.VRP{Prefix: p, MaxLength: 24, ASN: ipres.ASN(i%64 + 1)})
+	}
+	cache.SetVRPs(vrps)
+	addr := startServer(t, cache)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i] = NewClient(addr)
+		go func(c *Client) { _ = c.Run(ctx) }(clients[i])
+	}
+	for i, c := range clients {
+		if !c.WaitSynced(10 * time.Second) {
+			t.Fatalf("client %d never synced", i)
+		}
+		if got := len(c.VRPs()); got != len(vrps) {
+			t.Fatalf("client %d: %d VRPs, want %d", i, got, len(vrps))
+		}
+	}
+
+	// One "module" worth of change: drop two VRPs, add one.
+	next := append([]rov.VRP{}, vrps[:len(vrps)-2]...)
+	extra := rov.VRP{Prefix: ipres.MustParsePrefix("192.0.2.0/24"), MaxLength: 24, ASN: 64500}
+	next = append(next, extra)
+	cache.SetVRPs(next)
+	if entries, _, _ := cache.HistoryStats(); entries != 2 {
+		t.Fatalf("history entries = %d, want 2", entries)
+	}
+
+	want := append([]rov.VRP{}, next...)
+	rov.SortVRPs(want)
+	for i, c := range clients {
+		if !c.WaitSerial(2, 10*time.Second) {
+			t.Fatalf("client %d never saw the delta", i)
+		}
+		got := c.VRPs()
+		if len(got) != len(want) {
+			t.Fatalf("client %d: %d VRPs after delta, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("client %d: VRP[%d] = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}

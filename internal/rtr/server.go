@@ -11,33 +11,93 @@ import (
 	"repro/internal/rov"
 )
 
-// delta records one cache update as announce/withdraw sets, for serving
-// incremental serial queries.
+// delta records one cache update: the announce/withdraw sets plus their
+// precomputed wire encoding, shared read-only by every connection that
+// replays this delta.
 type delta struct {
 	serial    uint32
 	announced []rov.VRP
 	withdrawn []rov.VRP
+	// frame is the delta's prefix PDUs (announces then withdraws),
+	// serialized once at SetVRPs time. Immutable after creation.
+	frame []byte
 }
 
+func (d *delta) vrpCount() int { return len(d.announced) + len(d.withdrawn) }
+
 // Cache is the server-side VRP database with serial-numbered history.
+//
+// Serving is zero-copy: each serial's full snapshot and each delta carry a
+// precomputed, immutable frame of serialized prefix PDUs, built once per
+// update and written verbatim to every client — N routers asking for the
+// same data cost N writes, not N serializations. The delta history is
+// bounded by entry count, total VRP count, and total frame bytes, so a
+// long-lived server's memory stays flat no matter how many updates it has
+// seen; a client whose serial predates the retained window gets a Cache
+// Reset and reloads the snapshot.
 type Cache struct {
 	mu      sync.Mutex
 	session uint16
 	serial  uint32
-	vrps    map[rov.VRP]bool
-	history []delta
-	maxHist int
-	subs    map[chan uint32]bool
+	// vrps is the current set in canonical order (rov.SortVRPs), duplicate-
+	// free; snapFrame is its precomputed wire encoding. Both are replaced,
+	// never mutated, so connections may hold them outside the lock.
+	vrps      []rov.VRP
+	snapFrame []byte
+	history   []delta
+	histVRPs  int
+	histBytes int
+	// History bounds: entries, total VRPs, total frame bytes.
+	maxHist      int
+	maxHistVRPs  int
+	maxHistBytes int
+	subs         map[chan uint32]bool
 }
+
+// Default history bounds: plenty for steady-state polling, small enough
+// that a churn storm cannot balloon a long-lived server.
+const (
+	defaultMaxHist      = 64
+	defaultMaxHistVRPs  = 1 << 16
+	defaultMaxHistBytes = 1 << 20
+)
 
 // NewCache creates an empty cache with the given session ID.
 func NewCache(session uint16) *Cache {
 	return &Cache{
-		session: session,
-		vrps:    make(map[rov.VRP]bool),
-		maxHist: 64,
-		subs:    make(map[chan uint32]bool),
+		session:      session,
+		maxHist:      defaultMaxHist,
+		maxHistVRPs:  defaultMaxHistVRPs,
+		maxHistBytes: defaultMaxHistBytes,
+		subs:         make(map[chan uint32]bool),
 	}
+}
+
+// SetHistoryLimits bounds the retained delta history by entry count, total
+// VRP count, and total precomputed frame bytes. Arguments <= 0 keep the
+// current value. Clients older than the retained window fall back to a full
+// snapshot reload via Cache Reset.
+func (c *Cache) SetHistoryLimits(entries, vrps, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if entries > 0 {
+		c.maxHist = entries
+	}
+	if vrps > 0 {
+		c.maxHistVRPs = vrps
+	}
+	if bytes > 0 {
+		c.maxHistBytes = bytes
+	}
+	c.evictLocked()
+}
+
+// HistoryStats reports the retained history's size (for observability and
+// tests of the memory bound).
+func (c *Cache) HistoryStats() (entries, vrps, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.history), c.histVRPs, c.histBytes
 }
 
 // Serial returns the current serial number.
@@ -54,36 +114,64 @@ func (c *Cache) Len() int {
 	return len(c.vrps)
 }
 
-// SetVRPs replaces the cache contents, computing the delta against the
-// previous state, bumping the serial, and notifying subscribed connections.
-func (c *Cache) SetVRPs(vrps []rov.VRP) {
-	c.mu.Lock()
-	next := make(map[rov.VRP]bool, len(vrps))
+// encodeVRPs appends the prefix PDUs for vrps (with the given flags) to buf.
+func encodeVRPs(buf []byte, vrps []rov.VRP, flags uint8) []byte {
 	for _, v := range vrps {
-		next[v] = true
+		typ := uint8(TypeIPv4Prefix)
+		if v.Prefix.Family().Width() == 128 {
+			typ = TypeIPv6Prefix
+		}
+		b, err := (&PDU{Type: typ, Flags: flags, VRP: v}).Marshal()
+		if err != nil {
+			continue // unencodable VRP (cannot happen for valid prefixes)
+		}
+		buf = append(buf, b...)
 	}
-	var d delta
-	for v := range next {
-		if !c.vrps[v] {
-			d.announced = append(d.announced, v)
+	return buf
+}
+
+// SetVRPs replaces the cache contents. The input is normalized (copied,
+// sorted canonically, deduplicated), diffed against the previous state in
+// one linear merge, and — only if anything changed — the serial is bumped,
+// the delta and snapshot frames are serialized once, and subscribed
+// connections are notified. An unchanged set is a true no-op: no
+// allocation, no serial bump, no notification, which is what makes the
+// relying party's steady-state polling loop end in silence here.
+func (c *Cache) SetVRPs(vrps []rov.VRP) {
+	next := make([]rov.VRP, 0, len(vrps))
+	for _, v := range vrps {
+		if v.Prefix.IsValid() {
+			next = append(next, v)
 		}
 	}
-	for v := range c.vrps {
-		if !next[v] {
-			d.withdrawn = append(d.withdrawn, v)
+	rov.SortVRPs(next)
+	// Deduplicate (canonical order makes duplicates adjacent).
+	dedup := next[:0]
+	for i, v := range next {
+		if i == 0 || v.Compare(next[i-1]) != 0 {
+			dedup = append(dedup, v)
 		}
 	}
-	if len(d.announced) == 0 && len(d.withdrawn) == 0 {
+	next = dedup
+
+	c.mu.Lock()
+	announced, withdrawn := rov.DiffVRPs(c.vrps, next)
+	if len(announced) == 0 && len(withdrawn) == 0 {
 		c.mu.Unlock()
 		return
 	}
 	c.serial++
-	d.serial = c.serial
+	d := delta{serial: c.serial, announced: announced, withdrawn: withdrawn}
+	frame := make([]byte, 0, 20*d.vrpCount())
+	frame = encodeVRPs(frame, announced, FlagAnnounce)
+	frame = encodeVRPs(frame, withdrawn, 0)
+	d.frame = frame
 	c.vrps = next
+	c.snapFrame = encodeVRPs(make([]byte, 0, 20*len(next)), next, FlagAnnounce)
 	c.history = append(c.history, d)
-	if len(c.history) > c.maxHist {
-		c.history = c.history[len(c.history)-c.maxHist:]
-	}
+	c.histVRPs += d.vrpCount()
+	c.histBytes += len(d.frame)
+	c.evictLocked()
 	serial := c.serial
 	subs := make([]chan uint32, 0, len(c.subs))
 	for ch := range c.subs {
@@ -98,15 +186,48 @@ func (c *Cache) SetVRPs(vrps []rov.VRP) {
 	}
 }
 
-// snapshot returns the full VRP list and current serial.
-func (c *Cache) snapshot() ([]rov.VRP, uint32) {
+// evictLocked drops the oldest deltas until the history fits every bound.
+// Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for len(c.history) > 0 &&
+		(len(c.history) > c.maxHist || c.histVRPs > c.maxHistVRPs || c.histBytes > c.maxHistBytes) {
+		d := &c.history[0]
+		c.histVRPs -= d.vrpCount()
+		c.histBytes -= len(d.frame)
+		c.history = c.history[1:]
+	}
+}
+
+// snapshotFrame returns the current serial, session, and the shared
+// serialized snapshot frame. The frame is immutable; callers write it
+// as-is.
+func (c *Cache) snapshotFrame() (frame []byte, serial uint32, session uint16) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]rov.VRP, 0, len(c.vrps))
-	for v := range c.vrps {
-		out = append(out, v)
+	return c.snapFrame, c.serial, c.session
+}
+
+// deltaFrames returns the shared serialized frames of every delta after
+// serial, oldest first, or ok=false if that serial has aged out of the
+// history window. The frames are immutable; callers write them as-is.
+func (c *Cache) deltaFrames(serial uint32) (frames [][]byte, current uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serial == c.serial {
+		return nil, c.serial, true
 	}
-	return out, c.serial
+	found := false
+	for i := range c.history {
+		d := &c.history[i]
+		if found || d.serial == serial+1 {
+			found = true
+			frames = append(frames, d.frame)
+		}
+	}
+	if !found {
+		return nil, c.serial, false
+	}
+	return frames, c.serial, true
 }
 
 // deltasSince returns the concatenated deltas after serial, or ok=false if
@@ -256,45 +377,42 @@ func (s *Server) sessionID() uint16 {
 	return s.cache.session
 }
 
-// answer responds to one query; false means drop the connection.
+// answer responds to one query; false means drop the connection. The hot
+// path writes the cache's precomputed shared frames verbatim — no VRP is
+// re-serialized per client.
 func (s *Server) answer(w *bufio.Writer, q *PDU) bool {
-	_ = w
 	switch q.Type {
 	case TypeResetQuery:
-		vrps, serial := s.cache.snapshot()
-		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: s.sessionID()}); err != nil {
+		frame, serial, session := s.cache.snapshotFrame()
+		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: session}); err != nil {
 			return false
 		}
-		for _, v := range vrps {
-			if !s.writePrefix(w, v, FlagAnnounce) {
-				return false
-			}
+		if _, err := w.Write(frame); err != nil {
+			return false
 		}
-		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: s.sessionID(), Serial: serial}) == nil
+		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: session, Serial: serial}) == nil
 
 	case TypeSerialQuery:
-		if q.Session != s.sessionID() {
+		session := s.sessionID()
+		if q.Session != session {
 			// Session mismatch: tell the client to reset.
 			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
 		}
-		announced, withdrawn, serial, ok := s.cache.deltasSince(q.Serial)
+		frames, serial, ok := s.cache.deltaFrames(q.Serial)
 		if !ok {
+			// The queried serial predates the retained history window:
+			// the client must reload the full snapshot.
 			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
 		}
-		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: s.sessionID()}); err != nil {
+		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: session}); err != nil {
 			return false
 		}
-		for _, v := range announced {
-			if !s.writePrefix(w, v, FlagAnnounce) {
+		for _, frame := range frames {
+			if _, err := w.Write(frame); err != nil {
 				return false
 			}
 		}
-		for _, v := range withdrawn {
-			if !s.writePrefix(w, v, 0) {
-				return false
-			}
-		}
-		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: s.sessionID(), Serial: serial}) == nil
+		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: session, Serial: serial}) == nil
 
 	case TypeErrorReport:
 		return false
@@ -304,14 +422,6 @@ func (s *Server) answer(w *bufio.Writer, q *PDU) bool {
 			ErrText: fmt.Sprintf("unsupported PDU type %d", q.Type)})
 		return false
 	}
-}
-
-func (s *Server) writePrefix(w *bufio.Writer, v rov.VRP, flags uint8) bool {
-	typ := uint8(TypeIPv4Prefix)
-	if v.Prefix.Family().Width() == 128 {
-		typ = TypeIPv6Prefix
-	}
-	return WritePDU(w, &PDU{Type: typ, Flags: flags, VRP: v}) == nil
 }
 
 // SetDeadlineAfter is a small helper for tests.
