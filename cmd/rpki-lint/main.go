@@ -1,0 +1,121 @@
+// Command rpki-lint runs the repository's domain-invariant static-analysis
+// suite (internal/analysis): compiler-grade enforcement of the
+// misbehaving-authority safety rules that generic linters cannot see —
+// unchecked Verify errors, deadline-free conn I/O, guarded-field accesses
+// without the lock, wall-clock reads in epoch math, and non-exhaustive
+// diagnostic tables.
+//
+// Usage:
+//
+//	rpki-lint [-json] [./...]
+//
+// With "./..." (the default) every package in the enclosing module is
+// analyzed. Findings print as "file:line: [rule] message"; the exit status
+// is nonzero if there is any finding, including malformed //lint:ignore
+// directives (unknown rule, missing reason). Legitimate suppressions are
+// counted and printed so every declared exception stays visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(modRoot, modPath)
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, pattern := range patterns {
+		switch {
+		case pattern == "./..." || pattern == "all":
+			all, err := loader.ModulePackages()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			dir, err := filepath.Abs(pattern)
+			if err != nil {
+				fatal(err)
+			}
+			rel, err := filepath.Rel(modRoot, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fatal(fmt.Errorf("rpki-lint: %s is outside module %s", pattern, modPath))
+			}
+			path := modPath
+			if rel != "." {
+				path = modPath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.LoadDir(dir, path)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	loadErrs := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "rpki-lint: type error in %s: %v\n", pkg.Path, terr)
+			loadErrs++
+		}
+	}
+
+	report := analysis.Run(pkgs, analysis.Rules(), modRoot)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range report.Findings {
+			fmt.Println(f)
+		}
+		for _, s := range report.Suppressions {
+			status := "unused"
+			if s.Used {
+				status = "suppressed"
+			}
+			fmt.Printf("%s:%d: [ignore %s] %s (%s)\n",
+				s.File, s.Line, strings.Join(s.Rules, ","), s.Reason, status)
+		}
+		fmt.Printf("rpki-lint: %d packages, %d findings, %d suppressed by %d //lint:ignore directives\n",
+			len(pkgs), len(report.Findings), report.Suppressed, len(report.Suppressions))
+	}
+
+	switch {
+	case loadErrs > 0:
+		os.Exit(2)
+	case len(report.Findings) > 0:
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpki-lint:", err)
+	os.Exit(2)
+}

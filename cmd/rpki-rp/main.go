@@ -80,9 +80,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 			}
 		}()

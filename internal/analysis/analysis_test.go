@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture module lives in testdata (invisible to the go tool) and is
+// loaded through the same Loader the CLI uses, under the module path
+// "fixturemod" so import-path-sensitive rules (wallclock) see realistic
+// paths.
+var fixtures struct {
+	once sync.Once
+	root string
+	l    *Loader
+	err  error
+}
+
+func fixtureReport(t *testing.T, rel string) *Report {
+	t.Helper()
+	fixtures.once.Do(func() {
+		fixtures.root, fixtures.err = filepath.Abs(filepath.Join("testdata", "src", "fixturemod"))
+		if fixtures.err == nil {
+			fixtures.l = NewLoader(fixtures.root, "fixturemod")
+		}
+	})
+	if fixtures.err != nil {
+		t.Fatalf("locating fixtures: %v", fixtures.err)
+	}
+	dir := filepath.Join(fixtures.root, filepath.FromSlash(rel))
+	pkg, err := fixtures.l.LoadDir(dir, "fixturemod/"+rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", rel, terr)
+	}
+	return Run([]*Package{pkg}, Rules(), fixtures.root)
+}
+
+func findingStrings(r *Report) []string {
+	out := make([]string, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, got, want []string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("findings mismatch\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+func TestUncheckedVerify(t *testing.T) {
+	rep := fixtureReport(t, "uncheckedverify")
+	checkGolden(t, findingStrings(rep), []string{
+		"uncheckedverify/uncheckedverify.go:27: [uncheckedverify] error result of VerifyHash is discarded: a dropped verification verdict admits unverified objects",
+		"uncheckedverify/uncheckedverify.go:28: [uncheckedverify] error result of VerifyHash is discarded: a dropped verification verdict admits unverified objects",
+		"uncheckedverify/uncheckedverify.go:29: [uncheckedverify] error result of CheckPair is discarded: a dropped verification verdict admits unverified objects",
+	})
+}
+
+func TestDeadlineBeforeIO(t *testing.T) {
+	rep := fixtureReport(t, "deadline")
+	checkGolden(t, findingStrings(rep), []string{
+		"deadline/deadline.go:14: [deadlinebeforeio] conn.Read on a net.Conn with no dominating Set{,Read,Write}Deadline in readNaked: unbounded I/O is the slow-loris attack surface",
+		"deadline/deadline.go:27: [deadlinebeforeio] conn conn demoted to io.Reader by call to bufio.NewReader in demote, which never arms a deadline: wrap-then-read with no deadline is unbounded I/O",
+		"deadline/deadline.go:38: [deadlinebeforeio] conn.SetDeadline error discarded: a deadline that failed to arm leaves the conn unbounded — drop the connection instead",
+	})
+}
+
+func TestGuardedBy(t *testing.T) {
+	rep := fixtureReport(t, "guardedby")
+	checkGolden(t, findingStrings(rep), []string{
+		"guardedby/guardedby.go:13: [guardedby] 'guarded by lock' names no field of this struct: the guard contract protects nothing",
+		"guardedby/guardedby.go:23: [guardedby] c.n is guarded by mu but racy contains no preceding c.mu.Lock()",
+	})
+}
+
+func TestWallclock(t *testing.T) {
+	rep := fixtureReport(t, "internal/cert")
+	checkGolden(t, findingStrings(rep), []string{
+		"internal/cert/clock.go:16: [wallclock] time.Now() reads the wall clock in epoch-sensitive package fixturemod/internal/cert: use the injected clock so expiry semantics stay deterministic",
+		"internal/cert/clock.go:20: [wallclock] time.Since() reads the wall clock in epoch-sensitive package fixturemod/internal/cert: use the injected clock so expiry semantics stay deterministic",
+	})
+}
+
+func TestDiagExhaustive(t *testing.T) {
+	rep := fixtureReport(t, "diag")
+	checkGolden(t, findingStrings(rep), []string{
+		"diag/diag.go:27: [diagexhaustive] switch on fixturemod/diag.DiagKind has no default and misses: DiagStale — an unhandled diagnostic is a silent one",
+		"diag/diag.go:45: [diagexhaustive] table keyed by fixturemod/diag.DiagKind misses: DiagStale — an unmapped diagnostic renders as nothing when it matters most",
+	})
+}
+
+func TestSuppressions(t *testing.T) {
+	rep := fixtureReport(t, "suppress")
+	checkGolden(t, findingStrings(rep), []string{
+		`suppress/suppress.go:17: [suppression] //lint:ignore names unknown rule "nosuchrule"`,
+		"suppress/suppress.go:18: [uncheckedverify] error result of CheckThing is discarded: a dropped verification verdict admits unverified objects",
+		"suppress/suppress.go:22: [suppression] //lint:ignore uncheckedverify has no reason: every exception must explain itself",
+		"suppress/suppress.go:23: [uncheckedverify] error result of CheckThing is discarded: a dropped verification verdict admits unverified objects",
+	})
+	if rep.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (only the well-formed directive may suppress)", rep.Suppressed)
+	}
+	if len(rep.Suppressions) != 3 {
+		t.Fatalf("got %d suppressions, want 3: %+v", len(rep.Suppressions), rep.Suppressions)
+	}
+	for i, wantUsed := range []bool{true, false, false} {
+		if rep.Suppressions[i].Used != wantUsed {
+			t.Errorf("suppression at line %d: Used = %v, want %v",
+				rep.Suppressions[i].Line, rep.Suppressions[i].Used, wantUsed)
+		}
+	}
+}
+
+// TestModuleSelfRun dogfoods the suite over this repository: the tree must
+// be finding-free, and every //lint:ignore in it must actually suppress
+// something — an unused suppression is stale documentation.
+func TestModuleSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, path)
+	pkgs, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	rep := Run(pkgs, Rules(), root)
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for _, s := range rep.Suppressions {
+		if !s.Used {
+			t.Errorf("%s:%d: //lint:ignore %s suppresses nothing: remove it",
+				s.File, s.Line, strings.Join(s.Rules, ","))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deadlinebeforeio: the Stalloris/slow-loris defense from the resilient-
+// sync work is a prose invariant — "never touch a net.Conn without a
+// deadline" — that one refactor can silently undo. The rule checks, per
+// top-level function (closures included):
+//
+//  1. a direct Read/Write/ReadFrom/WriteTo on a conn-typed value must be
+//     dominated (textually preceded, the stdlib-only approximation of
+//     dominance) by a Set{,Read,Write}Deadline call on the same value;
+//  2. demoting a conn to a plain io.Reader/io.Writer — passing it to a
+//     parameter that can no longer arm deadlines, e.g. bufio.NewReader or
+//     fmt.Fprintf — requires the function to arm a deadline somewhere,
+//     because after the demotion nobody else can. Forwarding the conn to a
+//     conn-aware callee (parameter keeps SetDeadline) is fine: the callee
+//     is itself analyzed;
+//  3. a Set*Deadline call whose error result is discarded is a finding in
+//     its own right: a deadline that silently failed to arm (closed or
+//     hijacked conn) is an unbounded read wearing a seatbelt sticker. The
+//     fix is to drop the connection, not to ignore the error.
+var deadlineBeforeIORule = &Rule{
+	Name: "deadlinebeforeio",
+	Doc:  "I/O on a net.Conn without a dominating Set{,Read,Write}Deadline (slow-loris defense)",
+	Run:  runDeadlineBeforeIO,
+}
+
+func isDeadlineMethod(name string) bool {
+	return name == "SetDeadline" || name == "SetReadDeadline" || name == "SetWriteDeadline"
+}
+
+func isIOMethod(name string) bool {
+	return name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo"
+}
+
+func runDeadlineBeforeIO(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeadlines(pass, fd)
+		}
+	}
+	_ = info
+}
+
+func checkDeadlines(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	discards := blankDiscards(fd.Body)
+
+	// Pass 1: collect every deadline-arming call, keyed by the printed
+	// receiver expression ("conn", "pc.conn", ...).
+	armed := make(map[string][]token.Pos)
+	anyArm := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isDeadlineMethod(sel.Sel.Name) {
+			return true
+		}
+		recv := info.Types[sel.X].Type
+		if recv == nil || !canArmDeadline(recv) {
+			return true
+		}
+		root := types.ExprString(sel.X)
+		armed[root] = append(armed[root], call.Pos())
+		anyArm = true
+		// Invariant 3: the arming itself must be checked.
+		if blanks, present := discards[call]; discardsIndex(blanks, present, 0) {
+			pass.Reportf(call.Pos(),
+				"%s.%s error discarded: a deadline that failed to arm leaves the conn unbounded — drop the connection instead",
+				root, sel.Sel.Name)
+		}
+		return true
+	})
+	armedBefore := func(root string, pos token.Pos) bool {
+		for _, p := range armed[root] {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: direct I/O methods and demotions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isIOMethod(sel.Sel.Name) {
+			if recv := info.Types[sel.X].Type; recv != nil && isConnLike(recv) {
+				root := types.ExprString(sel.X)
+				if !armedBefore(root, call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"%s.%s on a net.Conn with no dominating Set{,Read,Write}Deadline in %s: unbounded I/O is the slow-loris attack surface",
+						root, sel.Sel.Name, fd.Name.Name)
+				}
+			}
+		}
+		checkDemotions(pass, fd, call, anyArm)
+		return true
+	})
+}
+
+// checkDemotions flags conn arguments handed to parameters that can no
+// longer arm deadlines, unless the function sets a deadline somewhere.
+func checkDemotions(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, anyArm bool) {
+	if anyArm {
+		return
+	}
+	info := pass.Pkg.Info
+	var sig *types.Signature
+	if tv, ok := info.Types[call.Fun]; ok {
+		if s, ok := tv.Type.Underlying().(*types.Signature); ok && !tv.IsType() {
+			sig = s
+		} else if tv.IsType() {
+			// Conversion: demotion iff the target type loses deadline control.
+			for _, arg := range call.Args {
+				at := info.Types[arg].Type
+				if at != nil && isConnLike(at) && !canArmDeadline(tv.Type) {
+					pass.Reportf(arg.Pos(),
+						"conn %s converted to %s (no deadline control) in %s, which never arms a deadline",
+						types.ExprString(arg), tv.Type.String(), fd.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		at := info.Types[arg].Type
+		if at == nil || !isConnLike(at) {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || canArmDeadline(pt) {
+			continue // forwarded to a conn-aware callee: analyzed there
+		}
+		pass.Reportf(arg.Pos(),
+			"conn %s demoted to %s by call to %s in %s, which never arms a deadline: wrap-then-read with no deadline is unbounded I/O",
+			types.ExprString(arg), pt.String(), types.ExprString(call.Fun), fd.Name.Name)
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// diagexhaustive: the relying party's Diag* constants are the vocabulary
+// in which degradation is made observable — the paper's whole point is
+// that what goes unreported goes unnoticed. A new DiagKind that is missing
+// from a diagnostic switch or string table silently renders as
+// "DiagKind(9)" (or not at all) exactly when it matters. The rule finds
+// every enum-like named type with two or more package-level Diag*
+// constants, and requires:
+//
+//   - every switch over a value of that type with no default clause to
+//     handle every Diag* constant;
+//   - every map or keyed composite literal keyed by that type (a string
+//     table) to contain every Diag* constant.
+//
+// A switch with a default clause is exempt — it has declared a fallback.
+// An intentionally-partial table needs a //lint:ignore with its reason.
+var diagExhaustiveRule = &Rule{
+	Name: "diagexhaustive",
+	Doc:  "Diag* constant missing from a diagnostic switch or string table",
+	Run:  runDiagExhaustive,
+}
+
+// diagConstants returns the names of package-level Diag*-prefixed
+// constants of the named type t, or nil if t is not a diag enum (fewer
+// than two such constants).
+func diagConstants(t types.Type) map[string]bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	out := make(map[string]bool)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Diag") {
+			continue
+		}
+		if types.Identical(c.Type(), t) {
+			out[name] = false
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
+func missingNames(want map[string]bool) []string {
+	var missing []string
+	for name, seen := range want {
+		if !seen {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// constName resolves an expression (identifier or pkg.Ident selector) to
+// the name of the constant it denotes, or "".
+func constName(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	if c, ok := info.Uses[id].(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}
+
+func runDiagExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkDiagSwitch(pass, n)
+			case *ast.CompositeLit:
+				checkDiagTable(pass, n)
+			}
+			return true
+		})
+	}
+	_ = info
+}
+
+func checkDiagSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	info := pass.Pkg.Info
+	if sw.Tag == nil {
+		return
+	}
+	tagType := info.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+	want := diagConstants(tagType)
+	if want == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch has declared a fallback
+		}
+		for _, e := range clause.List {
+			if name := constName(info, e); name != "" {
+				if _, tracked := want[name]; tracked {
+					want[name] = true
+				}
+			}
+		}
+	}
+	if missing := missingNames(want); len(missing) != 0 {
+		pass.Reportf(sw.Pos(),
+			"switch on %s has no default and misses: %s — an unhandled diagnostic is a silent one",
+			tagType.String(), strings.Join(missing, ", "))
+	}
+}
+
+func checkDiagTable(pass *Pass, lit *ast.CompositeLit) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	var keyType types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Map:
+		keyType = t.Key()
+	default:
+		return
+	}
+	want := diagConstants(keyType)
+	if want == nil {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if name := constName(info, kv.Key); name != "" {
+			if _, tracked := want[name]; tracked {
+				want[name] = true
+			}
+		}
+	}
+	if missing := missingNames(want); len(missing) != 0 {
+		pass.Reportf(lit.Pos(),
+			"table keyed by %s misses: %s — an unmapped diagnostic renders as nothing when it matters most",
+			keyType.String(), strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function object a call invokes, or nil for
+// conversions, built-ins, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errorResults returns the indices of error-typed results in sig.
+func errorResults(sig *types.Signature) []int {
+	var out []int
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// hasMethods reports whether t's method set (including the pointer method
+// set for non-interface types) contains every named method.
+func hasMethods(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for _, name := range names {
+		found := false
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// isConnLike reports whether t behaves as a net.Conn for the purposes of
+// the deadlinebeforeio rule: it can Read and Write, it can arm deadlines,
+// and it has network addresses. Matching on the method set instead of the
+// literal net.Conn interface also covers concrete conn types
+// (*net.TCPConn, test fakes, the fault-injection wrappers in
+// internal/repo); requiring LocalAddr/RemoteAddr keeps *os.File — which
+// also has SetDeadline — out of scope.
+func isConnLike(t types.Type) bool {
+	return hasMethods(t, "Read", "Write", "SetDeadline", "SetReadDeadline", "SetWriteDeadline",
+		"LocalAddr", "RemoteAddr")
+}
+
+// canArmDeadline reports whether a value of type t still exposes deadline
+// control — used to distinguish forwarding a conn (fine: the callee is
+// itself analyzed) from demoting it to a plain io.Reader/io.Writer.
+func canArmDeadline(t types.Type) bool {
+	return hasMethods(t, "SetDeadline")
+}
+
+// blankDiscards maps call expressions appearing as statements to the set of
+// result indices whose values are discarded: all of them for a bare
+// expression (or go/defer) statement, and the blank-assigned positions of
+// an assignment. Calls nested inside larger expressions never appear — the
+// value is used.
+func blankDiscards(body *ast.BlockStmt) map[*ast.CallExpr][]int {
+	out := make(map[*ast.CallExpr][]int)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				out[call] = nil // nil means "every result"
+			}
+		case *ast.GoStmt:
+			out[stmt.Call] = nil
+		case *ast.DeferStmt:
+			out[stmt.Call] = nil
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 {
+				if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok {
+					var blanks []int
+					for i, lhs := range stmt.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+							blanks = append(blanks, i)
+						}
+					}
+					if len(blanks) > 0 {
+						out[call] = blanks
+					}
+				}
+				return true
+			}
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(stmt.Lhs) {
+					continue
+				}
+				if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					out[call] = []int{0}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// discardsIndex reports whether the discard set (from blankDiscards) drops
+// result index i.
+func discardsIndex(blanks []int, present bool, i int) bool {
+	if !present {
+		return false
+	}
+	if blanks == nil {
+		return true // statement call: every result discarded
+	}
+	for _, b := range blanks {
+		if b == i {
+			return true
+		}
+	}
+	return false
+}

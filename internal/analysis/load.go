@@ -1,0 +1,269 @@
+// Package analysis is a stdlib-only static-analysis framework plus the
+// domain-specific rules that mechanically enforce this repository's
+// misbehaving-authority safety invariants (see DESIGN.md §8).
+//
+// The paper's core observation is that RPKI safety collapses when an
+// authority's misbehavior goes unnoticed; this repository's own safety
+// rests on hand-maintained invariants ("never discard a Verify error",
+// "never touch a net.Conn without a deadline", "never read the wall clock
+// inside validity-epoch math") that rot just as silently. The analysis
+// package turns those prose invariants into compiler-grade checks: every
+// package in the module is parsed (go/parser) and type-checked (go/types
+// with the source importer — no golang.org/x/tools dependency), and each
+// rule walks the typed ASTs reporting findings as file:line: [rule] message.
+//
+// Deliberate exceptions are declared in the code with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// on (or immediately above) the offending line. Suppressions are counted
+// and printed, and a suppression that names an unknown rule or omits its
+// reason is itself a finding — an unexplained exception is exactly the
+// kind of silent rot the suite exists to prevent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path ("repro/internal/rp").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test Go files, in file-name order.
+	Files []*ast.File
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems (the analysis still runs
+	// on a best-effort basis, but the driver reports them).
+	TypeErrors []error
+}
+
+// Loader loads and type-checks the packages of one module. Imports inside
+// the module are resolved by the Loader itself (recursively loading the
+// imported package); everything else — the standard library — is resolved
+// by go/importer's source importer, so the module stays dependency-free.
+type Loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+
+	mu      sync.Mutex
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+var disableCgoOnce sync.Once
+
+// NewLoader creates a loader for the module rooted at modRoot (the
+// directory containing go.mod) with the given module path.
+func NewLoader(modRoot, modPath string) *Loader {
+	// The source importer type-checks the standard library from source via
+	// go/build; with cgo disabled every package (net included) resolves to
+	// its pure-Go form, which is all the analysis needs.
+	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePackages discovers every package directory in the module (skipping
+// testdata, hidden and underscore directories) and loads each one. The
+// result is sorted by import path.
+func (l *Loader) ModulePackages() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.modRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modPath
+		if rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads a single package from an arbitrary directory under the
+// given import path. Used by the analyzer regression tests to load fixture
+// packages out of testdata (where the go tool will not build them).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	return l.loadFrom(importPath, dir)
+}
+
+// load loads the module package with the given import path (memoized).
+func (l *Loader) load(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	return l.loadFrom(path, dir)
+}
+
+func (l *Loader) loadFrom(path, dir string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	if l.loading[path] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, path)
+		l.mu.Unlock()
+	}()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(importPath, srcDir string) (*types.Package, error) {
+			if importPath == l.modPath || strings.HasPrefix(importPath, l.modPath+"/") {
+				sub, err := l.load(importPath)
+				if err != nil {
+					return nil, err
+				}
+				return sub.Types, nil
+			}
+			return l.std.ImportFrom(importPath, srcDir, 0)
+		}),
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check's error is redundant here: every problem also lands in
+	// TypeErrors via the Error callback, and the (partial) package is still
+	// analyzed best-effort.
+	//lint:ignore uncheckedverify type errors are collected via the types.Config.Error callback above
+	pkg.Types, _ = conf.Check(path, l.fset, pkg.Files, pkg.Info)
+
+	l.mu.Lock()
+	l.pkgs[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.ImporterFrom.
+type importerFunc func(path, srcDir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path, "") }
+func (f importerFunc) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	return f(path, srcDir)
+}

@@ -1,0 +1,49 @@
+// Fixture for the deadlinebeforeio rule: naked conn I/O, deadline-free
+// demotion to io.Reader, and discarded Set*Deadline errors are findings;
+// armed I/O, armed demotion, and forwarding to conn-aware callees are not.
+package deadline
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+func readNaked(conn net.Conn) {
+	buf := make([]byte, 1)
+	conn.Read(buf) // want: no dominating deadline
+}
+
+func readArmed(conn net.Conn) error {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	_, err := conn.Read(buf)
+	return err
+}
+
+func demote(conn net.Conn) *bufio.Reader {
+	return bufio.NewReader(conn) // want: demoted to io.Reader, nothing armed
+}
+
+func demoteArmed(conn net.Conn) (*bufio.Reader, error) {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return nil, err
+	}
+	return bufio.NewReader(conn), nil
+}
+
+func armUnchecked(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second)) // want: arm error discarded
+	buf := make([]byte, 1)
+	_, _ = conn.Read(buf)
+}
+
+func forward(conn net.Conn) {
+	helper(conn) // callee keeps deadline control: analyzed there, not here
+}
+
+func helper(conn net.Conn) {
+	_ = conn.Close()
+}

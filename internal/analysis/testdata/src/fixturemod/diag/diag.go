@@ -1,0 +1,54 @@
+// Fixture for the diagexhaustive rule: switches without default and string
+// tables over a Diag* enum must handle every constant.
+package diag
+
+// DiagKind enumerates fixture diagnostics.
+type DiagKind int
+
+const (
+	DiagExpired DiagKind = iota
+	DiagMissing
+	DiagStale
+)
+
+func describeTotal(k DiagKind) string {
+	switch k {
+	case DiagExpired:
+		return "expired"
+	case DiagMissing:
+		return "missing"
+	case DiagStale:
+		return "stale"
+	}
+	return ""
+}
+
+func describePartial(k DiagKind) string {
+	switch k { // want: misses DiagStale
+	case DiagExpired:
+		return "expired"
+	case DiagMissing:
+		return "missing"
+	}
+	return ""
+}
+
+func describeDefaulted(k DiagKind) string {
+	switch k {
+	case DiagExpired:
+		return "expired"
+	default:
+		return "other"
+	}
+}
+
+var partialNames = map[DiagKind]string{ // want: misses DiagStale
+	DiagExpired: "expired",
+	DiagMissing: "missing",
+}
+
+var allNames = map[DiagKind]string{
+	DiagExpired: "expired",
+	DiagMissing: "missing",
+	DiagStale:   "stale",
+}

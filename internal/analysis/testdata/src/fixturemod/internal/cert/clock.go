@@ -1,0 +1,25 @@
+// Fixture for the wallclock rule. The directory's import path ends in
+// internal/cert, so it counts as epoch-sensitive: direct time.Now/Since
+// calls are findings, while assigning time.Now as a clock value (the
+// injection point) stays legal.
+package cert
+
+import "time"
+
+// Clock is the injected time source.
+type Clock func() time.Time
+
+// DefaultClock hands out the wall clock as a value, not a call.
+func DefaultClock() Clock { return time.Now }
+
+func expired(notAfter time.Time) bool {
+	return time.Now().After(notAfter) // want: wall-clock read
+}
+
+func age(at time.Time) time.Duration {
+	return time.Since(at) // want: wall-clock read
+}
+
+func expiredInjected(notAfter time.Time, clock Clock) bool {
+	return clock().After(notAfter)
+}

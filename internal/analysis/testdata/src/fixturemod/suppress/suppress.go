@@ -1,0 +1,24 @@
+// Fixture for //lint:ignore handling: a well-formed directive suppresses
+// the finding below it (and is marked used); a directive naming an unknown
+// rule or omitting its reason is itself a finding and suppresses nothing.
+package suppress
+
+import "errors"
+
+// CheckThing returns a verdict the callers below mistreat.
+func CheckThing() error { return errors.New("no") }
+
+func wellFormed() {
+	//lint:ignore uncheckedverify fixture demonstrates a reasoned exception
+	CheckThing()
+}
+
+func unknownRule() {
+	//lint:ignore nosuchrule the rule name is misspelled
+	CheckThing()
+}
+
+func missingReason() {
+	//lint:ignore uncheckedverify
+	CheckThing()
+}

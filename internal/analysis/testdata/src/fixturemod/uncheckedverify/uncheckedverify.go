@@ -1,0 +1,39 @@
+// Fixture for the uncheckedverify rule: Verify*/Check*/Validate* calls
+// whose error result is discarded must be findings; checked calls and
+// non-verification names must not.
+package uncheckedverify
+
+import "errors"
+
+// VerifyHash pretends to verify a digest.
+func VerifyHash(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// CheckPair returns a value alongside its verdict.
+func CheckPair(b []byte) (int, error) {
+	return len(b), VerifyHash(b)
+}
+
+// validateQuietly is lowercase: not a Verify*/Check*/Validate* API name.
+func validateQuietly(b []byte) error {
+	return VerifyHash(b)
+}
+
+func discards(data []byte) int {
+	VerifyHash(data)        // want: bare statement discards the verdict
+	_ = VerifyHash(data)    // want: blank assignment discards the verdict
+	n, _ := CheckPair(data) // want: value kept, verdict blanked
+	return n
+}
+
+func checks(data []byte) (int, error) {
+	if err := VerifyHash(data); err != nil {
+		return 0, err
+	}
+	_ = validateQuietly(data) // lowercase helper: not flagged
+	return CheckPair(data)
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// uncheckedverify: a Verify*/Check*/Validate* function's error result is
+// the verdict — discarding it is exactly the "misbehavior goes unnoticed"
+// failure the paper is about (a relying party that calls VerifyHash and
+// ignores the answer has admitted an unverified object). The rule flags
+// calls to any function whose name starts with Verify, Check or Validate
+// and whose error result is discarded: the call as a bare statement, a
+// go/defer statement, or an assignment that sends the error to the blank
+// identifier.
+var uncheckedVerifyRule = &Rule{
+	Name: "uncheckedverify",
+	Doc:  "error result of a Verify*/Check*/Validate* call is discarded",
+	Run:  runUncheckedVerify,
+}
+
+func isVerifyName(name string) bool {
+	return strings.HasPrefix(name, "Verify") ||
+		strings.HasPrefix(name, "Check") ||
+		strings.HasPrefix(name, "Validate")
+}
+
+func runUncheckedVerify(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			discards := blankDiscards(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !isVerifyName(fn.Name()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				errIdx := errorResults(sig)
+				if len(errIdx) == 0 {
+					return true
+				}
+				blanks, present := discards[call]
+				for _, i := range errIdx {
+					if discardsIndex(blanks, present, i) {
+						pass.Reportf(call.Pos(),
+							"error result of %s is discarded: a dropped verification verdict admits unverified objects",
+							fn.Name())
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+}

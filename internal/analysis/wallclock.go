@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclock: validity-epoch math (certificate windows, manifest/CRL
+// nextUpdate, module-reuse epochs, LKG staleness) must read the injected
+// clock (rp.Config.Clock, cert.ValidationContext.Now), never the wall
+// clock. A stray time.Now() in those packages makes expiry semantics
+// nondeterministic: tests can no longer pin time, and two components of
+// one sync can disagree about "now" — which is how a cached verdict
+// outlives its epoch unnoticed. The rule flags direct calls to time.Now,
+// time.Since and time.Until inside the epoch-sensitive packages.
+// Assigning time.Now as a default clock value (cfg.Clock = time.Now) is
+// not a call and stays legal — that is the injection point itself.
+var wallclockRule = &Rule{
+	Name: "wallclock",
+	Doc:  "wall-clock read (time.Now/Since/Until) in validation/epoch code that must use the injected clock",
+	Run:  runWallclock,
+}
+
+// wallclockPackages are the epoch-sensitive packages, matched by import
+// path suffix so the fixture packages in testdata exercise the rule too.
+var wallclockPackages = []string{
+	"internal/rp",
+	"internal/cert",
+	"internal/manifest",
+}
+
+func epochSensitive(path string) bool {
+	for _, suffix := range wallclockPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runWallclock(pass *Pass) {
+	if !epochSensitive(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(),
+					"time.%s() reads the wall clock in epoch-sensitive package %s: use the injected clock so expiry semantics stay deterministic",
+					fn.Name(), pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

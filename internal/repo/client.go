@@ -136,6 +136,18 @@ func (pc *pointConn) ensure(ctx context.Context) error {
 		pc.c.Breakers.Failure(pc.key())
 		return fmt.Errorf("repo: dial %s: %w", pc.uri.Host, err)
 	}
+	// Arm a deadline before anything wraps or touches the conn: even a
+	// caller that skips arm() can never do unbounded I/O on it, and a conn
+	// that refuses its deadline is discarded instead of trusted.
+	d := time.Now().Add(pc.c.timeout())
+	if dl, ok := ctx.Deadline(); ok && dl.Before(d) {
+		d = dl
+	}
+	if err := conn.SetDeadline(d); err != nil {
+		_ = conn.Close()
+		pc.c.Breakers.Failure(pc.key())
+		return fmt.Errorf("repo: arming deadline on %s: %w", pc.uri.Host, err)
+	}
 	pc.conn = conn
 	pc.r = bufio.NewReader(conn)
 	// A canceled context must interrupt a blocked read, not wait out the
@@ -145,13 +157,21 @@ func (pc *pointConn) ensure(ctx context.Context) error {
 }
 
 // arm sets the per-request deadline on the live connection: Timeout from
-// now, clipped to the context's overall deadline.
-func (pc *pointConn) arm(ctx context.Context) {
+// now, clipped to the context's overall deadline. A connection that
+// refuses its deadline is dropped — an unarmed conn must never be used,
+// because unbounded I/O is exactly the slow-loris surface the deadline
+// exists to close.
+func (pc *pointConn) arm(ctx context.Context) error {
 	d := time.Now().Add(pc.c.timeout())
 	if dl, ok := ctx.Deadline(); ok && dl.Before(d) {
 		d = dl
 	}
-	_ = pc.conn.SetDeadline(d)
+	if err := pc.conn.SetDeadline(d); err != nil {
+		pc.c.Breakers.Failure(pc.key())
+		pc.drop()
+		return fmt.Errorf("repo: arming deadline: %w", err)
+	}
+	return nil
 }
 
 // drop closes and forgets the connection.
@@ -183,7 +203,9 @@ func (pc *pointConn) request(ctx context.Context, op func() error) error {
 		}
 		err := pc.ensure(ctx)
 		if err == nil {
-			pc.arm(ctx)
+			err = pc.arm(ctx)
+		}
+		if err == nil {
 			err = op()
 			if err == nil {
 				pc.c.Breakers.Success(pc.key())
@@ -220,6 +242,7 @@ func (c *Client) retryPolicy() RetryPolicy {
 
 // listOnce performs one LIST exchange on a live connection.
 func listOnce(conn net.Conn, r *bufio.Reader, module string) (map[string]int, error) {
+	//lint:ignore deadlinebeforeio conn arrives deadline-armed from pointConn.request (arm precedes every op)
 	if err := writeLine(conn, "LIST %s", module); err != nil {
 		return nil, fmt.Errorf("repo: sending LIST: %w", err)
 	}
@@ -252,6 +275,7 @@ func listOnce(conn net.Conn, r *bufio.Reader, module string) (map[string]int, er
 
 // getOnce performs one GET exchange on a live connection.
 func getOnce(conn net.Conn, r *bufio.Reader, module, name string) ([]byte, error) {
+	//lint:ignore deadlinebeforeio conn arrives deadline-armed from pointConn.request (arm precedes every op)
 	if err := writeLine(conn, "GET %s %s", module, name); err != nil {
 		return nil, fmt.Errorf("repo: sending GET: %w", err)
 	}
@@ -272,6 +296,7 @@ func getOnce(conn net.Conn, r *bufio.Reader, module, name string) ([]byte, error
 
 // statOnce performs one STAT exchange on a live connection.
 func statOnce(conn net.Conn, r *bufio.Reader, module, name string) (ObjectInfo, error) {
+	//lint:ignore deadlinebeforeio conn arrives deadline-armed from pointConn.request (arm precedes every op)
 	if err := writeLine(conn, "STAT %s %s", module, name); err != nil {
 		return ObjectInfo{}, fmt.Errorf("repo: sending STAT: %w", err)
 	}

@@ -139,8 +139,11 @@ func (s *Server) handle(conn net.Conn) {
 
 	for {
 		// Rolling per-request deadline: covers reading the next command
-		// and writing its response.
-		_ = conn.SetDeadline(time.Now().Add(s.readTimeout()))
+		// and writing its response. A conn that refuses the deadline is
+		// dropped rather than served unbounded.
+		if err := conn.SetDeadline(time.Now().Add(s.readTimeout())); err != nil {
+			return
+		}
 		line, err := readLine(r)
 		if err != nil {
 			return

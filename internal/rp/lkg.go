@@ -28,7 +28,8 @@ type lkgEntry struct {
 // — so a corrupted or partially-served point never overwrites the good
 // snapshot its fallback would need.
 type lkgStore struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// points maps module name to its last clean snapshot. guarded by mu.
 	points map[string]lkgEntry
 }
 

@@ -118,7 +118,8 @@ func (e *moduleEntry) within(now time.Time) bool {
 // moduleMemo holds moduleEntry values across Sync calls, keyed by module
 // name. Nil when DisableModuleReuse is set.
 type moduleMemo struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// entries maps module name to cached outcome. guarded by mu.
 	entries map[string]*moduleEntry
 }
 
@@ -197,7 +198,8 @@ type moduleBuild struct {
 
 	wg sync.WaitGroup
 
-	mu                  sync.Mutex
+	mu sync.Mutex
+	// Taint count, accumulated outputs and epoch bounds. guarded by mu.
 	diags               int
 	vrps                []rov.VRP
 	roas                int

@@ -230,9 +230,9 @@ func (c Config) workers() int {
 type RelyingParty struct {
 	cfg     Config
 	anchors []TrustAnchor
-	// snapMu guards snapshots: per-module contents cached across Sync
-	// calls when CacheSnapshots is enabled.
-	snapMu    sync.Mutex
+	snapMu  sync.Mutex
+	// snapshots holds per-module contents cached across Sync calls when
+	// CacheSnapshots is enabled. guarded by snapMu.
 	snapshots map[string]map[string][]byte
 	// cache persists verification verdicts across Sync calls (nil when
 	// disabled).
@@ -269,6 +269,7 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 
 func (rp *RelyingParty) now() time.Time {
 	if rp.cfg.Clock == nil {
+		//lint:ignore wallclock this IS the injection point: the documented Config.Clock default
 		return time.Now()
 	}
 	return rp.cfg.Clock()
@@ -355,7 +356,9 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		sem: make(chan struct{}, rp.cfg.workers()),
 	}
 	if rp.lkg != nil {
+		st.mu.Lock()
 		st.fetched = make(map[string]map[string][]byte)
+		st.mu.Unlock()
 	}
 	for _, ta := range rp.anchors {
 		anchor, err := cert.Parse(ta.CertDER)
@@ -385,11 +388,15 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		for _, d := range res.Diagnostics {
 			tainted[d.Module] = true
 		}
+		// Every walk goroutine is done (wg.Wait above), but fetched is
+		// lock-disciplined like every other access to it.
+		st.mu.Lock()
 		for module, files := range st.fetched {
 			if !tainted[module] {
 				rp.lkg.put(module, files, now)
 			}
 		}
+		st.mu.Unlock()
 	}
 	rov.SortVRPs(res.VRPs)
 	sortDiagnostics(res.Diagnostics)
@@ -436,15 +443,17 @@ type syncState struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 
-	mu  sync.Mutex // guards res, err and fetched
+	mu sync.Mutex
+	// res is the accumulating result. guarded by mu.
 	res *Result
 	// err is the first hard failure (context cancellation); it aborts the
-	// sync instead of becoming a diagnostic.
+	// sync instead of becoming a diagnostic. guarded by mu.
 	err error
 	// fetched records each point's cleanly-fetched files for the LKG commit
-	// at the end of Sync (nil when LKG is disabled).
+	// at the end of Sync (nil when LKG is disabled). guarded by mu.
 	fetched map[string]map[string][]byte
 
+	// Atomic counters; not covered by mu.
 	cacheHits, cacheMisses atomic.Int64
 }
 
@@ -759,12 +768,12 @@ func (st *syncState) commitModule(uri repo.URI, authority *cert.ResourceCert, ef
 // recordFetched remembers a point's cleanly-fetched files for the LKG
 // commit at the end of Sync (no-op when LKG is disabled).
 func (st *syncState) recordFetched(module string, files map[string][]byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.fetched == nil {
 		return
 	}
-	st.mu.Lock()
 	st.fetched[module] = files
-	st.mu.Unlock()
 }
 
 // lkgFallback handles a publication point that could not be fetched at all.

@@ -16,7 +16,8 @@ import (
 type Client struct {
 	addr string
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// Local VRP copy and sync state. guarded by mu.
 	vrps    map[rov.VRP]bool
 	serial  uint32
 	session uint16
@@ -78,7 +79,16 @@ func (c *Client) Run(ctx context.Context) error {
 		conn.Close()
 	}()
 
+	// Each query the client sends is deadline-bounded so a stalled cache
+	// cannot wedge the writer; reads stay unbounded by design — the client
+	// legitimately idles until the cache pushes a notify.
+	armWrite := func() error {
+		return conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
 	r := bufio.NewReader(conn)
+	if err := armWrite(); err != nil {
+		return fmt.Errorf("rtr: arming write deadline: %w", err)
+	}
 	if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
 		return fmt.Errorf("rtr: reset query: %w", err)
 	}
@@ -143,12 +153,18 @@ func (c *Client) Run(ctx context.Context) error {
 			if p.Serial == serial {
 				continue
 			}
+			if err := armWrite(); err != nil {
+				return fmt.Errorf("rtr: arming write deadline: %w", err)
+			}
 			if err := WritePDU(conn, &PDU{Type: TypeSerialQuery, Session: session, Serial: serial}); err != nil {
 				return fmt.Errorf("rtr: serial query: %w", err)
 			}
 
 		case TypeCacheReset:
 			fullReload = true
+			if err := armWrite(); err != nil {
+				return fmt.Errorf("rtr: arming write deadline: %w", err)
+			}
 			if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
 				return fmt.Errorf("rtr: reset query: %w", err)
 			}

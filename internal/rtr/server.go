@@ -36,22 +36,26 @@ func (d *delta) vrpCount() int { return len(d.announced) + len(d.withdrawn) }
 // seen; a client whose serial predates the retained window gets a Cache
 // Reset and reloads the snapshot.
 type Cache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// Session and serial state. guarded by mu.
 	session uint16
 	serial  uint32
 	// vrps is the current set in canonical order (rov.SortVRPs), duplicate-
 	// free; snapFrame is its precomputed wire encoding. Both are replaced,
-	// never mutated, so connections may hold them outside the lock.
+	// never mutated, so connections may hold the retrieved slices outside
+	// the lock; the fields themselves are guarded by mu.
 	vrps      []rov.VRP
 	snapFrame []byte
+	// Delta history and its size accounting. guarded by mu.
 	history   []delta
 	histVRPs  int
 	histBytes int
-	// History bounds: entries, total VRPs, total frame bytes.
+	// History bounds: entries, total VRPs, total frame bytes. guarded by mu.
 	maxHist      int
 	maxHistVRPs  int
 	maxHistBytes int
-	subs         map[chan uint32]bool
+	// subs holds the notify channel of every live connection. guarded by mu.
+	subs map[chan uint32]bool
 }
 
 // Default history bounds: plenty for steady-state polling, small enough
@@ -358,11 +362,20 @@ func (s *Server) handle(conn net.Conn) {
 		case <-readErr:
 			return
 		case serial := <-notify:
+			// Write deadline per response batch: a router that stops
+			// draining its socket must not pin this goroutine (and its
+			// cache subscription) forever — the server-side slow-loris.
+			if conn.SetWriteDeadline(time.Now().Add(writeTimeout)) != nil {
+				return
+			}
 			_ = WritePDU(w, &PDU{Type: TypeSerialNotify, Session: s.sessionID(), Serial: serial})
 			if w.Flush() != nil {
 				return
 			}
 		case q := <-queries:
+			if conn.SetWriteDeadline(time.Now().Add(writeTimeout)) != nil {
+				return
+			}
 			keep := s.answer(w, q)
 			if w.Flush() != nil || !keep {
 				return
@@ -370,6 +383,11 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 }
+
+// writeTimeout bounds one response batch (snapshot replay included) to a
+// client; RTR reads stay unbounded by design — clients legitimately idle
+// between serial queries and are pushed notifies instead.
+const writeTimeout = 30 * time.Second
 
 func (s *Server) sessionID() uint16 {
 	s.cache.mu.Lock()
@@ -423,6 +441,3 @@ func (s *Server) answer(w *bufio.Writer, q *PDU) bool {
 		return false
 	}
 }
-
-// SetDeadlineAfter is a small helper for tests.
-func SetDeadlineAfter(conn net.Conn, d time.Duration) { _ = conn.SetDeadline(time.Now().Add(d)) }
