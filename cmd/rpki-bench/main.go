@@ -1,31 +1,55 @@
-// Command rpki-bench runs the repository's key micro-benchmarks outside the
+// Command rpki-bench runs the repository's performance suites outside the
 // go-test harness and writes the results as machine-readable JSON — a
 // regression baseline that CI or a developer can diff across changes.
 //
 // Usage:
 //
-//	rpki-bench [-out BENCH_PR4.json] [-benchtime 1s]
+//	rpki-bench [-out BENCH_PR6.json] [-tiers 10000,100000,1000000]
+//	           [-micro] [-benchtime 1s] [-workers N] [-rss-budget-mb M]
+//	           [-worlddir DIR]
 //
-// The suite covers the steady-state polling pipeline end to end: a cold
-// validation of the production-sized synthetic world, the warm re-sync with
-// only the signature verification cache (module reuse disabled), the warm
-// re-sync with module-level memoization, the one-module-changed incremental
-// sync, the VRP set diff, and the RTR fan-out of a one-VRP delta to 100
-// concurrent router clients.
+// Two suites:
+//
+//   - The micro suite (-micro, on by default) covers the steady-state
+//     polling pipeline end to end: cold validation of the production-sized
+//     synthetic world, warm re-syncs with and without module memoization,
+//     the one-module-changed incremental sync, the VRP set diff, and the RTR
+//     fan-out of a one-VRP delta to 100 concurrent router clients.
+//
+//   - The scaling suite (-tiers) generates seeded on-disk worlds at each
+//     tier (ROA count) and measures, per tier: generation, cold streaming
+//     validation, warm streaming re-sync, and cold non-streaming (baseline)
+//     validation. Each phase runs in a fresh subprocess (the binary re-execs
+//     itself) so peak RSS — read from /proc/self/status VmHWM — isolates
+//     that phase alone. The harness fails if the streaming and baseline
+//     paths disagree on the VRP set (byte-level digest compare), or if a
+//     streaming phase exceeds -rss-budget-mb.
+//
+// Worlds live in per-tier temp directories removed after the tier finishes;
+// pass -worlddir to keep them (and to reuse an already-generated world on
+// the next run — generation is skipped when a matching world.json exists).
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	rpkirisk "repro"
 	"repro/internal/ipres"
+	"repro/internal/modelgen"
 	"repro/internal/roa"
 	"repro/internal/rov"
 	"repro/internal/rp"
@@ -33,11 +57,31 @@ import (
 )
 
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	GoVersion    string  `json:"go_version"`
+	CPUs         int     `json:"cpus"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+}
+
+// scaleResult is one scaling-suite phase, measured in its own subprocess.
+type scaleResult struct {
+	Name            string  `json:"name"` // scale_<tier>_<phase>
+	Tier            int     `json:"tier"`
+	Phase           string  `json:"phase"`
+	Workers         int     `json:"workers"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	GoVersion       string  `json:"go_version"`
+	CPUs            int     `json:"cpus"`
+	Modules         int     `json:"modules,omitempty"`
+	VRPs            int     `json:"vrps,omitempty"`
+	VRPDigest       string  `json:"vrp_digest,omitempty"`
 }
 
 type report struct {
@@ -46,18 +90,34 @@ type report struct {
 	GOOS      string        `json:"goos"`
 	GOARCH    string        `json:"goarch"`
 	CPUs      int           `json:"cpus"`
-	Results   []benchResult `json:"results"`
+	Results   []benchResult `json:"results,omitempty"`
+	Scale     []scaleResult `json:"scale,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "write the JSON report to this file (empty: stdout only)")
-	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	out := flag.String("out", "BENCH_PR6.json", "write the JSON report to this file (empty: stdout only)")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per micro-benchmark")
+	micro := flag.Bool("micro", true, "run the micro-benchmark suite")
+	tiers := flag.String("tiers", "", "comma-separated ROA tiers for the scaling suite (e.g. 10000,100000,1000000)")
+	workers := flag.Int("workers", 4, "generation/validation worker count for the scaling suite")
+	seed := flag.Int64("seed", 1, "world-generation seed for the scaling suite")
+	worlddir := flag.String("worlddir", "", "keep/reuse generated worlds under this directory (default: per-tier temp dirs)")
+	rssBudgetMB := flag.Int("rss-budget-mb", 0, "fail if a streaming validation phase's peak RSS exceeds this many MiB (0: no budget)")
+	phase := flag.String("phase", "", "internal: run a single scaling phase in this process and print its JSON record")
+	tier := flag.Int("tier", 0, "internal: ROA tier for -phase")
 	testing.Init() // registers the test.* flags testing.Benchmark reads
 	flag.Parse()
+
+	if *phase != "" {
+		if err := runPhase(*phase, *tier, *worlddir, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
 	}
-
 	rep := &report{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -65,17 +125,312 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.GOMAXPROCS(0),
 	}
+	if *micro {
+		runMicro(rep)
+	}
+	if *tiers != "" {
+		if err := runScale(rep, *tiers, *worlddir, *seed, *workers, *rssBudgetMB); err != nil {
+			writeReport(rep, *out) // keep partial results for debugging
+			fatal(err)
+		}
+	}
+	writeReport(rep, *out)
+}
+
+func writeReport(rep *report, out string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	} else {
+		fmt.Println(string(data))
+	}
+}
+
+// peakRSSBytes reads the process high-water RSS from /proc/self/status
+// (VmHWM). Returns 0 on platforms without procfs.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// digestVRPs hashes a canonically sorted VRP set; two runs agree on the
+// digest iff they produced the identical VRP list.
+func digestVRPs(vrps []rov.VRP) string {
+	h := sha256.New()
+	var buf bytes.Buffer
+	for _, v := range vrps {
+		buf.Reset()
+		fmt.Fprintf(&buf, "%s|%d|%d\n", v.Prefix, v.MaxLength, v.ASN)
+		h.Write(buf.Bytes())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runPhase executes one scaling phase in-process and prints its scaleResult
+// as a single JSON line on stdout (everything else goes to stderr).
+func runPhase(phase string, tier int, dir string, seed int64, workers int) error {
+	if tier <= 0 || dir == "" {
+		return fmt.Errorf("phase %q needs -tier and -worlddir", phase)
+	}
+	ctx := context.Background()
+	rec := scaleResult{
+		Name:      fmt.Sprintf("scale_%d_%s", tier, phase),
+		Tier:      tier,
+		Phase:     phase,
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+
+	sync := func(streaming bool) (*rp.Result, error) {
+		w, err := modelgen.OpenScaled(dir)
+		if err != nil {
+			return nil, err
+		}
+		anchor, err := w.Anchor()
+		if err != nil {
+			return nil, err
+		}
+		v := rp.New(rp.Config{
+			Fetcher:   w.Fetcher(),
+			Clock:     w.Clock(),
+			Workers:   workers,
+			Streaming: streaming,
+		}, anchor)
+		rec.Modules = w.Meta.Modules
+		res, err := v.Sync(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Diagnostics) > 0 {
+			return nil, fmt.Errorf("tier %d: %d diagnostics, first: %v", tier, len(res.Diagnostics), res.Diagnostics[0])
+		}
+		return res, nil
+	}
+
+	start := time.Now()
+	switch phase {
+	case "generate":
+		w, err := modelgen.GenerateScaled(modelgen.ScaleConfig{
+			Seed: seed, ROAs: tier, Dir: dir, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		rec.Modules = w.Meta.Modules
+	case "cold_streaming", "cold_baseline":
+		res, err := sync(phase == "cold_streaming")
+		if err != nil {
+			return err
+		}
+		rec.VRPs = len(res.VRPs)
+		rec.VRPDigest = digestVRPs(res.VRPs)
+	case "warm_resync":
+		// Run the cold streaming pass untimed, then time the warm re-sync;
+		// peak RSS still covers the whole process (cold + warm), which is
+		// the honest number for a long-lived polling relying party.
+		w, err := modelgen.OpenScaled(dir)
+		if err != nil {
+			return err
+		}
+		anchor, err := w.Anchor()
+		if err != nil {
+			return err
+		}
+		v := rp.New(rp.Config{
+			Fetcher: w.Fetcher(), Clock: w.Clock(), Workers: workers, Streaming: true,
+		}, anchor)
+		rec.Modules = w.Meta.Modules
+		if _, err := v.Sync(ctx); err != nil {
+			return err
+		}
+		start = time.Now() // time only the warm pass
+		res, err := v.Sync(ctx)
+		if err != nil {
+			return err
+		}
+		if res.ModulesRevalidated != 0 {
+			return fmt.Errorf("warm re-sync revalidated %d modules, want 0", res.ModulesRevalidated)
+		}
+		if len(res.Diagnostics) > 0 {
+			return fmt.Errorf("warm re-sync produced %d diagnostics", len(res.Diagnostics))
+		}
+		rec.VRPs = len(res.VRPs)
+		rec.VRPDigest = digestVRPs(res.VRPs)
+	default:
+		return fmt.Errorf("unknown phase %q", phase)
+	}
+	rec.WallSeconds = time.Since(start).Seconds()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec.TotalAllocBytes = ms.TotalAlloc
+	rec.Mallocs = ms.Mallocs
+	rec.PeakRSSBytes = peakRSSBytes()
+
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// runScale drives the scaling suite: per tier, generate (or reuse) the world
+// and run each validation phase in a fresh subprocess so peak RSS is
+// attributable to that phase alone.
+func runScale(rep *report, tiersCSV, worlddir string, seed int64, workers, rssBudgetMB int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	var tiers []int
+	for _, part := range strings.Split(tiersCSV, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad tier %q", part)
+		}
+		tiers = append(tiers, n)
+	}
+
+	spawn := func(phase string, tier int, dir string) (scaleResult, error) {
+		fmt.Fprintf(os.Stderr, "== tier %d: %s (workers=%d)\n", tier, phase, workers)
+		cmd := exec.Command(exe,
+			"-phase", phase,
+			"-tier", strconv.Itoa(tier),
+			"-worlddir", dir,
+			"-seed", strconv.FormatInt(seed, 10),
+			"-workers", strconv.Itoa(workers),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return scaleResult{}, fmt.Errorf("tier %d phase %s: %w", tier, phase, err)
+		}
+		var rec scaleResult
+		if err := json.Unmarshal(bytes.TrimSpace(out), &rec); err != nil {
+			return scaleResult{}, fmt.Errorf("tier %d phase %s: bad record %q: %w", tier, phase, out, err)
+		}
+		fmt.Fprintf(os.Stderr, "   %-14s %8.2fs  peak RSS %7.1f MiB  vrps=%d\n",
+			phase, rec.WallSeconds, float64(rec.PeakRSSBytes)/(1<<20), rec.VRPs)
+		rep.Scale = append(rep.Scale, rec)
+		return rec, nil
+	}
+
+	for _, tier := range tiers {
+		dir := filepath.Join(os.TempDir(), fmt.Sprintf("rpki-bench-world-%d", tier))
+		keep := false
+		if worlddir != "" {
+			dir = filepath.Join(worlddir, fmt.Sprintf("tier-%d", tier))
+			keep = true
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+
+		// Reuse an existing world only when its metadata matches exactly.
+		generate := true
+		if w, err := modelgen.OpenScaled(dir); err == nil && w.Meta.Seed == seed && w.Meta.ROAs == tier {
+			fmt.Fprintf(os.Stderr, "== tier %d: reusing world in %s\n", tier, dir)
+			generate = false
+		}
+		if generate {
+			if err := os.RemoveAll(dir); err != nil {
+				return err
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			if _, err := spawn("generate", tier, dir); err != nil {
+				return err
+			}
+		}
+
+		streaming, err := spawn("cold_streaming", tier, dir)
+		if err != nil {
+			return err
+		}
+		warm, err := spawn("warm_resync", tier, dir)
+		if err != nil {
+			return err
+		}
+		baseline, err := spawn("cold_baseline", tier, dir)
+		if err != nil {
+			return err
+		}
+
+		// Correctness gate: the streaming walk must reproduce the baseline
+		// VRP set bit for bit, cold and warm.
+		if streaming.VRPDigest != baseline.VRPDigest || streaming.VRPs != baseline.VRPs {
+			return fmt.Errorf("tier %d: streaming VRP set (%d, %s) != baseline (%d, %s)",
+				tier, streaming.VRPs, streaming.VRPDigest, baseline.VRPs, baseline.VRPDigest)
+		}
+		if warm.VRPDigest != baseline.VRPDigest {
+			return fmt.Errorf("tier %d: warm re-sync VRP set diverged from baseline", tier)
+		}
+
+		// Memory gate: streaming phases must fit the budget.
+		if rssBudgetMB > 0 {
+			budget := int64(rssBudgetMB) << 20
+			for _, rec := range []scaleResult{streaming, warm} {
+				if rec.PeakRSSBytes > budget {
+					return fmt.Errorf("%s: peak RSS %d bytes exceeds budget %d MiB",
+						rec.Name, rec.PeakRSSBytes, rssBudgetMB)
+				}
+			}
+		}
+
+		if !keep {
+			if err := os.RemoveAll(dir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runMicro(rep *report) {
 	run := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			fn(b)
 		})
 		res := benchResult{
-			Name:        name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			Name:         name,
+			Iterations:   r.N,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			GoVersion:    runtime.Version(),
+			CPUs:         runtime.GOMAXPROCS(0),
+			PeakRSSBytes: peakRSSBytes(),
 		}
 		rep.Results = append(rep.Results, res)
 		fmt.Printf("%-32s %10d iter  %14.0f ns/op  %8d allocs/op  %10d B/op\n",
@@ -119,6 +474,23 @@ func main() {
 
 	run("warm_resync_module_reuse", func(b *testing.B) {
 		relying := rpkirisk.NewRelyingParty(world, 0)
+		if _, err := relying.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := relying.Sync(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ModulesRevalidated != 0 {
+				b.Fatalf("re-validated %d modules", res.ModulesRevalidated)
+			}
+		}
+	})
+
+	run("warm_resync_streaming", func(b *testing.B) {
+		relying := rp.New(rp.Config{Fetcher: world.Stores, Clock: world.Clock, Streaming: true}, world.Anchor())
 		if _, err := relying.Sync(ctx); err != nil {
 			b.Fatal(err)
 		}
@@ -218,19 +590,6 @@ func main() {
 			await()
 		}
 	})
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if *out != "" {
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	} else {
-		fmt.Println(string(data))
-	}
 }
 
 func fatal(err error) {

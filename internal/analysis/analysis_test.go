@@ -99,6 +99,14 @@ func TestDiagExhaustive(t *testing.T) {
 	})
 }
 
+func TestPoolHygiene(t *testing.T) {
+	rep := fixtureReport(t, "pool")
+	checkGolden(t, findingStrings(rep), []string{
+		"pool/pool.go:20: [poolhygiene] bp is returned to the pool but an alias of the pooled memory escapes leakReturn (returned at line 21): the next Get shares bytes with the escapee",
+		"pool/pool.go:32: [poolhygiene] bp is returned to the pool but an alias of the pooled memory escapes leakField (returned at line 33): the next Get shares bytes with the escapee",
+	})
+}
+
 func TestSuppressions(t *testing.T) {
 	rep := fixtureReport(t, "suppress")
 	checkGolden(t, findingStrings(rep), []string{

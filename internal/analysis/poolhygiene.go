@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolhygiene: a sync.Pool buffer returned with Put may be handed to any
+// later Get — concurrently, from any goroutine. If an alias of the pooled
+// memory escaped the function first (returned, stored into a field, map or
+// package variable, or sent on a channel), the escapee and the next Get
+// holder now share bytes, and the resulting corruption shows up far from
+// either site. The streaming validator leans on pooled scratch (the rp
+// hashing pass, the cms SET-OF scratch), so the invariant is checked
+// statically: inside any function that calls Put, the rule tracks the
+// pooled pointer and everything assigned from it (dereferences, subslices,
+// append chains) and flags the Put when an alias flows somewhere that
+// outlives the call. Value copies are not aliases — storing sums[i] (a
+// [32]byte) into a result map is fine; storing sums itself is not.
+var poolHygieneRule = &Rule{
+	Name: "poolhygiene",
+	Doc:  "sync.Pool.Put of a buffer whose aliases escape the function (retained in results, fields, or channels)",
+	Run:  runPoolHygiene,
+}
+
+func runPoolHygiene(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolFunc(pass, fd)
+			}
+		}
+	}
+}
+
+// poolEscape is one place an alias of pooled memory leaves the function.
+type poolEscape struct {
+	pos  token.Pos
+	desc string
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find sync.Pool Put calls and seed the alias set with their
+	// arguments and with every variable assigned from a Get.
+	type putCall struct {
+		call *ast.CallExpr
+		arg  string
+	}
+	var puts []putCall
+	aliases := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Put" {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				aliases[obj] = true
+				puts = append(puts, putCall{call: call, arg: id.Name})
+			}
+		}
+		return true
+	})
+	if len(puts) == 0 {
+		return
+	}
+
+	isLocal := func(obj types.Object) bool {
+		return obj != nil && fd.Pos() <= obj.Pos() && obj.Pos() <= fd.End()
+	}
+
+	// aliasExpr reports whether evaluating e yields a view of pooled memory:
+	// the pooled variable itself, a dereference or subslice of it, an append
+	// chain seeded from it, or an element access that still carries pointers
+	// into it. Element reads of value type (sums[i] as a [32]byte) are
+	// copies, not aliases.
+	var aliasExpr func(e ast.Expr) bool
+	aliasExpr = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return aliases[info.Uses[e]]
+		case *ast.ParenExpr:
+			return aliasExpr(e.X)
+		case *ast.StarExpr:
+			return aliasExpr(e.X)
+		case *ast.SliceExpr:
+			return aliasExpr(e.X)
+		case *ast.UnaryExpr:
+			return e.Op == token.AND && aliasExpr(e.X)
+		case *ast.IndexExpr:
+			return pointerLike(info.TypeOf(e)) && aliasExpr(e.X)
+		case *ast.SelectorExpr:
+			return pointerLike(info.TypeOf(e)) && aliasExpr(e.X)
+		case *ast.TypeAssertExpr:
+			return aliasExpr(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if aliasExpr(elt) {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			// append(alias, ...) usually returns the same backing array.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(e.Args) > 0 {
+					return aliasExpr(e.Args[0])
+				}
+			}
+			return false
+		}
+		return false
+	}
+
+	// isPoolGet reports whether e is a sync.Pool Get call (possibly behind a
+	// type assertion), so its destination seeds the alias set.
+	isPoolGet := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Get"
+	}
+
+	// Pass 2: propagate aliases through assignments to a fixpoint. The set
+	// is flow-insensitive — once an alias, always an alias — which errs on
+	// the side of reporting.
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	for changed, rounds := true, 0; changed && rounds < 8; rounds++ {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				obj := lhsObj(lhs)
+				if obj == nil || aliases[obj] {
+					continue
+				}
+				if isPoolGet(as.Rhs[i]) || (aliasExpr(as.Rhs[i]) && pointerLike(info.TypeOf(lhs))) {
+					aliases[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: find escapes — aliases flowing somewhere that outlives the
+	// call. Stores INTO pooled memory (*bp = buf, sums[i] = x) are the
+	// normal give-back pattern and stay legal; stores into locals propagate
+	// (pass 2 and the base-marking below); everything else escapes.
+	var escapes []poolEscape
+	pos := pass.Pkg.Fset.Position
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if aliasExpr(res) {
+					escapes = append(escapes, poolEscape{res.Pos(), "returned"})
+				}
+			}
+		case *ast.SendStmt:
+			if aliasExpr(n.Value) {
+				escapes = append(escapes, poolEscape{n.Value.Pos(), "sent on a channel"})
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !aliasExpr(n.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if obj := lhsObj(l); obj != nil && !isLocal(obj) {
+						escapes = append(escapes, poolEscape{lhs.Pos(), "stored in package variable " + l.Name})
+					}
+				case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+					var base ast.Expr
+					switch l := l.(type) {
+					case *ast.StarExpr:
+						base = l.X
+					case *ast.SelectorExpr:
+						base = l.X
+					case *ast.IndexExpr:
+						base = l.X
+					}
+					if aliasExpr(base) {
+						continue // writing back into pooled memory
+					}
+					bobj := lhsObj(base)
+					baseType := info.TypeOf(base)
+					_, basePtr := baseType.Underlying().(*types.Pointer)
+					if bobj != nil && isLocal(bobj) && !basePtr {
+						// A local value now holds pooled memory: treat the
+						// local as an alias so returning it is caught.
+						if !aliases[bobj] {
+							aliases[bobj] = true
+						}
+						continue
+					}
+					escapes = append(escapes, poolEscape{lhs.Pos(), "stored in " + types.ExprString(l)})
+				}
+			}
+		}
+		return true
+	})
+	if len(escapes) == 0 {
+		return
+	}
+	first := escapes[0]
+	for _, e := range escapes[1:] {
+		if e.pos < first.pos {
+			first = e
+		}
+	}
+	for _, put := range puts {
+		pass.Reportf(put.call.Pos(),
+			"%s is returned to the pool but an alias of the pooled memory escapes %s (%s at line %d): the next Get shares bytes with the escapee",
+			put.arg, fd.Name.Name, first.desc, pos(first.pos).Line)
+	}
+}
+
+// pointerLike reports whether values of t carry pointers into backing
+// memory — assigning one creates an alias rather than a copy.
+func pointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return pointerLike(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointerLike(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+// Package pool exercises the poolhygiene rule: sync.Pool.Put of a buffer
+// whose aliases escaped the function must be flagged; value copies out of
+// pooled scratch must not.
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+type envelope struct {
+	Data []byte
+}
+
+// leakReturn returns the pooled backing array itself and then recycles it:
+// the caller and the next Get now share bytes.
+func leakReturn(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], make([]byte, n)...)
+	*bp = buf
+	bufPool.Put(bp)
+	return buf
+}
+
+// leakField parks an alias of the pooled buffer in a result struct before
+// recycling it.
+func leakField(n int) envelope {
+	var env envelope
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], make([]byte, n)...)
+	env.Data = buf
+	*bp = buf
+	bufPool.Put(bp)
+	return env
+}
+
+// hashClean copies a value out of the pooled scratch before Put — the
+// [4]byte element is a copy, not an alias — and must not be flagged.
+func hashClean(n int) [4]byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], make([]byte, n+4)...)
+	var out [4]byte
+	copy(out[:], buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return out
+}

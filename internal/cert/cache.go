@@ -49,7 +49,7 @@ func (c *VerifyCache) Memoize(objectHash [32]byte, issuer *ResourceCert, verify 
 	if c == nil {
 		return verify()
 	}
-	key := verifyKey{object: objectHash, issuer: string(issuer.Cert.SubjectKeyId)}
+	key := verifyKey{object: objectHash, issuer: issuer.SKIKey()}
 	c.mu.RLock()
 	e, ok := c.verdicts[key]
 	c.mu.RUnlock()

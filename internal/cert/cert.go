@@ -27,7 +27,14 @@ type ResourceCert struct {
 	SIA InfoAccess
 	// AIA holds the authority information access pointers.
 	AIA InfoAccess
+	// skiKey is the SubjectKeyId as an immutable string, computed once at
+	// parse time so hot paths (verify-cache keys) never re-convert it.
+	skiKey string
 }
+
+// SKIKey returns the subject key identifier as an immutable string,
+// suitable for map keys without a per-call allocation.
+func (rc *ResourceCert) SKIKey() string { return rc.skiKey }
 
 // IsCA reports whether this is a CA (resource-holding authority)
 // certificate rather than a one-time-use EE certificate.
@@ -174,7 +181,7 @@ func IssueForKey(tmpl Template, issuer *ResourceCert, issuerKey *KeyPair, subjec
 		parent = issuer.Cert
 		x.AuthorityKeyId = issuer.Cert.SubjectKeyId
 	}
-	der, err := x509.CreateCertificate(nil, x, parent, subjectPub, issuerKey.Private)
+	der, err := x509.CreateCertificate(issuerKey.x509Rand(), x, parent, subjectPub, issuerKey.Private)
 	if err != nil {
 		return nil, fmt.Errorf("cert: creating certificate: %w", err)
 	}
@@ -189,7 +196,7 @@ func Parse(der []byte) (*ResourceCert, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cert: parsing certificate: %w", err)
 	}
-	rc := &ResourceCert{Raw: der, Cert: x}
+	rc := &ResourceCert{Raw: der, Cert: x, skiKey: string(x.SubjectKeyId)}
 	var sawIP bool
 	for _, ext := range x.Extensions {
 		switch {

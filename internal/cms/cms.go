@@ -15,12 +15,12 @@ package cms
 import (
 	"bytes"
 	"crypto/ecdsa"
-	"crypto/rand"
 	"crypto/sha256"
 	"crypto/x509/pkix"
 	"encoding/asn1"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cert"
 )
@@ -128,7 +128,7 @@ func Sign(contentType asn1.ObjectIdentifier, content []byte, ee *cert.ResourceCe
 		return nil, fmt.Errorf("cms: building attributes: %w", err)
 	}
 	attrDigest := sha256.Sum256(signedBytes)
-	sig, err := ecdsa.SignASN1(rand.Reader, eeKey.Private, attrDigest[:])
+	sig, err := eeKey.SignDigest(attrDigest[:])
 	if err != nil {
 		return nil, fmt.Errorf("cms: signing: %w", err)
 	}
@@ -255,11 +255,7 @@ func Parse(der []byte) (*SignedObject, error) {
 	}
 
 	// Verify the signature over the explicit SET OF encoding of the attrs.
-	setOf, err := asn1.Marshal(asn1.RawValue{Class: asn1.ClassUniversal, Tag: asn1.TagSet, IsCompound: true, Bytes: si.SignedAttrs.Bytes})
-	if err != nil {
-		return nil, err
-	}
-	attrDigest := sha256.Sum256(setOf)
+	attrDigest := hashExplicitSetOf(si.SignedAttrs.Bytes)
 	pub, ok := ee.Cert.PublicKey.(*ecdsa.PublicKey)
 	if !ok {
 		return nil, fmt.Errorf("cms: EE key is not ECDSA")
@@ -274,6 +270,39 @@ func Parse(der []byte) (*SignedObject, error) {
 		Content:     content,
 		EE:          ee,
 	}, nil
+}
+
+// setScratch pools the scratch buffers hashExplicitSetOf assembles the
+// explicit SET OF encoding into. Buffers never escape: the digest is copied
+// out before the buffer returns to the pool.
+var setScratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// hashExplicitSetOf computes SHA-256 over the explicit DER SET OF encoding
+// (tag 0x31, definite length, content) of an implicitly tagged attribute
+// set, without re-marshaling through encoding/asn1. This runs once per
+// signed-object parse — the relying party's hot path — so the header is
+// written by hand into a pooled buffer instead of allocating a fresh copy of
+// the attributes for every verification.
+func hashExplicitSetOf(content []byte) [32]byte {
+	bp := setScratch.Get().(*[]byte)
+	buf := append((*bp)[:0], 0x31)
+	switch n := len(content); {
+	case n < 0x80:
+		buf = append(buf, byte(n))
+	case n < 0x100:
+		buf = append(buf, 0x81, byte(n))
+	case n < 0x10000:
+		buf = append(buf, 0x82, byte(n>>8), byte(n))
+	default:
+		// Unreachable for RPKI signed attributes (two short attrs), but keep
+		// the encoding correct for arbitrary input.
+		buf = append(buf, 0x83, byte(n>>16), byte(n>>8), byte(n))
+	}
+	buf = append(buf, content...)
+	sum := sha256.Sum256(buf)
+	*bp = buf
+	setScratch.Put(bp)
+	return sum
 }
 
 func parseSignedAttrs(setContent []byte) (contentType asn1.ObjectIdentifier, digest []byte, err error) {

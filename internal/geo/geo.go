@@ -13,7 +13,6 @@ package geo
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -154,40 +153,15 @@ var allCountries = func() []Country {
 
 var allRIRs = []RIR{ARIN, RIPE, APNIC, LACNIC, AFRINIC}
 
-// Synthetic generates a deterministic synthetic holding set.
+// Synthetic generates a deterministic synthetic holding set. It materializes
+// the whole set; at rate-measurement scale, prefer SyntheticStream.
 func Synthetic(cfg SyntheticConfig) []Holding {
-	if cfg.Holdings == 0 {
-		cfg.Holdings = 100
-	}
-	if cfg.SubAllocationsPerHolding == 0 {
-		cfg.SubAllocationsPerHolding = 5
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg = cfg.normalized()
 	holdings := make([]Holding, 0, cfg.Holdings)
-	for i := 0; i < cfg.Holdings; i++ {
-		rir := allRIRs[rng.Intn(len(allRIRs))]
-		inRegion := membersOf(rir)
-		h := Holding{
-			Holder:    fmt.Sprintf("org-%03d", i),
-			RC:        ipres.MustPrefixFrom(ipres.AddrFromUint32(uint32(i)<<16), 16),
-			ParentRIR: rir,
-		}
-		for j := 0; j < cfg.SubAllocationsPerHolding; j++ {
-			if rng.Float64() < cfg.CrossBorderProb {
-				// Pick a country outside the region.
-				for {
-					c := allCountries[rng.Intn(len(allCountries))]
-					if !InRegion(rir, c) {
-						h.Countries = append(h.Countries, c)
-						break
-					}
-				}
-			} else if len(inRegion) > 0 {
-				h.Countries = append(h.Countries, inRegion[rng.Intn(len(inRegion))])
-			}
-		}
+	SyntheticStream(cfg, func(h Holding) bool {
 		holdings = append(holdings, h)
-	}
+		return true
+	})
 	return holdings
 }
 
@@ -221,17 +195,9 @@ func (s Stats) Rate() float64 {
 
 // Analyze computes cross-border statistics over holdings.
 func Analyze(holdings []Holding) Stats {
-	s := Stats{Holdings: len(holdings)}
-	distinct := make(map[Country]bool)
+	a := NewStreamAnalyzer()
 	for _, h := range holdings {
-		outside := h.OutsideJurisdiction()
-		if len(outside) > 0 {
-			s.CrossBorder++
-		}
-		for _, c := range outside {
-			distinct[c] = true
-		}
+		a.Add(h)
 	}
-	s.Countries = len(distinct)
-	return s
+	return a.Stats()
 }

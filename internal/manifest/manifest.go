@@ -48,6 +48,7 @@ func New(number int64, thisUpdate, nextUpdate time.Time, files map[string][]byte
 		Number:     big.NewInt(number),
 		ThisUpdate: thisUpdate,
 		NextUpdate: nextUpdate,
+		Entries:    make([]Entry, 0, len(files)),
 	}
 	for name, content := range files {
 		m.Entries = append(m.Entries, Entry{Name: name, Hash: sha256.Sum256(content)})
@@ -120,12 +121,19 @@ func (m *Manifest) MarshalContent() ([]byte, error) {
 		ThisUpdate:     m.ThisUpdate.UTC().Truncate(time.Second),
 		NextUpdate:     m.NextUpdate.UTC().Truncate(time.Second),
 		FileHashAlg:    oidSHA256,
+		FileList:       make([]fileAndHash, len(m.Entries)),
 	}
-	for _, e := range m.Entries {
-		seq.FileList = append(seq.FileList, fileAndHash{
-			File: e.Name,
-			Hash: asn1.BitString{Bytes: append([]byte(nil), e.Hash[:]...), BitLength: 256},
-		})
+	// One backing array for every hash copy instead of a 32-byte allocation
+	// per entry; large manifests are marshaled in bulk during world
+	// generation, where the per-entry garbage adds up.
+	backing := make([]byte, len(m.Entries)*sha256.Size)
+	for i := range m.Entries {
+		h := backing[i*sha256.Size : (i+1)*sha256.Size : (i+1)*sha256.Size]
+		copy(h, m.Entries[i].Hash[:])
+		seq.FileList[i] = fileAndHash{
+			File: m.Entries[i].Name,
+			Hash: asn1.BitString{Bytes: h, BitLength: 256},
+		}
 	}
 	return asn1.Marshal(seq)
 }
@@ -147,6 +155,7 @@ func UnmarshalContent(der []byte) (*Manifest, error) {
 		Number:     seq.ManifestNumber,
 		ThisUpdate: seq.ThisUpdate,
 		NextUpdate: seq.NextUpdate,
+		Entries:    make([]Entry, 0, len(seq.FileList)),
 	}
 	for _, f := range seq.FileList {
 		if f.Hash.BitLength != 256 {

@@ -1,0 +1,162 @@
+package modelgen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/rp"
+)
+
+// dirDigest hashes every file in dir (names and contents, sorted), so two
+// generated worlds compare equal iff they are byte-identical.
+func dirDigest(t *testing.T, dir string) [32]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		content, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte(name))
+		h.Write(content)
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+func TestGenerateScaledDeterministic(t *testing.T) {
+	const roas = 400
+	gen := func(seed int64, workers int) (string, [32]byte) {
+		dir := t.TempDir()
+		w, err := GenerateScaled(ScaleConfig{Seed: seed, ROAs: roas, Dir: dir, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Meta.ROAs != roas {
+			t.Fatalf("meta ROAs = %d, want %d", w.Meta.ROAs, roas)
+		}
+		return dir, dirDigest(t, dir)
+	}
+	_, d1 := gen(7, 1)
+	_, d2 := gen(7, 4)
+	if d1 != d2 {
+		t.Fatal("same seed produced different worlds (workers 1 vs 4)")
+	}
+	_, d3 := gen(8, 1)
+	if d1 == d3 {
+		t.Fatal("different seeds produced identical worlds")
+	}
+}
+
+func TestScaledWorldReopens(t *testing.T) {
+	dir := t.TempDir()
+	w, err := GenerateScaled(ScaleConfig{Seed: 1, ROAs: 200, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenScaled(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Meta != w.Meta {
+		t.Fatalf("reopened meta %+v != generated %+v", re.Meta, w.Meta)
+	}
+	a1, err := w.Anchor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := re.Anchor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1.CertDER, a2.CertDER) || a1.URI != a2.URI {
+		t.Fatal("anchor changed across reopen")
+	}
+}
+
+// validateScaled fully validates a generated world and asserts a clean run.
+func validateScaled(t *testing.T, w *ScaledWorld, workers int) *rp.Result {
+	t.Helper()
+	v := rp.New(rp.Config{
+		Fetcher: w.Fetcher(),
+		Clock:   w.Clock(),
+		Workers: workers,
+	}, mustAnchor(t, w))
+	res, err := v.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Diagnostics {
+		if i < 5 {
+			t.Errorf("diagnostic: %v", d)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		t.Fatalf("%d diagnostics on a freshly generated world", len(res.Diagnostics))
+	}
+	return res
+}
+
+func mustAnchor(t *testing.T, w *ScaledWorld) rp.TrustAnchor {
+	t.Helper()
+	a, err := w.Anchor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestScaledWorldValidatesSmall(t *testing.T) {
+	const roas = 300
+	dir := t.TempDir()
+	w, err := GenerateScaled(ScaleConfig{Seed: 3, ROAs: roas, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := validateScaled(t, w, 4)
+	if res.ROAsAccepted != roas {
+		t.Fatalf("ROAsAccepted = %d, want %d", res.ROAsAccepted, roas)
+	}
+	if len(res.VRPs) != roas {
+		t.Fatalf("VRPs = %d, want %d", len(res.VRPs), roas)
+	}
+	if res.PubPointsVisited != w.Meta.Modules {
+		t.Fatalf("visited %d publication points, world has %d", res.PubPointsVisited, w.Meta.Modules)
+	}
+}
+
+// TestScaledWorldValidates10k is the 10k-tier acceptance gate: a seeded
+// Internet-scale hierarchy — thousands of publication points, Zipf fan-out,
+// deep chains — validates cleanly with every ROA accepted.
+func TestScaledWorldValidates10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k tier generation in -short mode")
+	}
+	dir := t.TempDir()
+	w, err := GenerateScaled(ScaleConfig{Seed: 10, ROAs: Tier10k, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Meta.CAs < 1000 {
+		t.Fatalf("10k tier produced only %d CAs, want >= 1000 publication points", w.Meta.CAs)
+	}
+	res := validateScaled(t, w, 4)
+	if res.ROAsAccepted != Tier10k {
+		t.Fatalf("ROAsAccepted = %d, want %d", res.ROAsAccepted, Tier10k)
+	}
+}

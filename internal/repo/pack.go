@@ -1,0 +1,148 @@
+package repo
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Pack files serialize one publication point to disk as a single flat file,
+// so that Internet-scale synthetic worlds (millions of objects across
+// thousands of publication points) can be generated once, streamed to disk,
+// and validated later without ever holding the whole world in RAM.
+//
+// Format ("RPP1"):
+//
+//	magic   4 bytes  "RPP1"
+//	count   uvarint  number of entries
+//	entry*  uvarint name length, name bytes,
+//	        uvarint content length, content bytes
+//
+// Entries are written in sorted name order, so packing the same store twice
+// yields byte-identical files — the property the seeded-generation
+// determinism tests assert.
+
+const packMagic = "RPP1"
+
+// maxPackEntrySize bounds a single object read back from a pack file,
+// mirroring the wire protocol's MaxObjectSize defense.
+const maxPackEntrySize = MaxObjectSize
+
+// WritePackFile serializes files to path in pack format. The write goes
+// through a temporary file and rename so readers never observe a torn pack.
+func WritePackFile(path string, files map[string][]byte) error {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		if !validName(name) {
+			return fmt.Errorf("repo: pack: invalid object name %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var scratch [binary.MaxVarintLen64]byte
+	size := len(packMagic) + binary.PutUvarint(scratch[:], uint64(len(names)))
+	for _, name := range names {
+		size += binary.PutUvarint(scratch[:], uint64(len(name))) + len(name)
+		size += binary.PutUvarint(scratch[:], uint64(len(files[name]))) + len(files[name])
+	}
+
+	buf := make([]byte, 0, size)
+	buf = append(buf, packMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendUvarint(buf, uint64(len(files[name])))
+		buf = append(buf, files[name]...)
+	}
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("repo: pack: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("repo: pack: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// ReadPackFile deserializes a pack file. The returned map's values are
+// zero-copy subslices of one backing buffer; callers must treat them as
+// read-only.
+func ReadPackFile(path string) (map[string][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: pack: %w", err)
+	}
+	return parsePack(buf)
+}
+
+func parsePack(buf []byte) (map[string][]byte, error) {
+	if len(buf) < len(packMagic) || string(buf[:len(packMagic)]) != packMagic {
+		return nil, fmt.Errorf("repo: pack: bad magic")
+	}
+	rest := buf[len(packMagic):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > MaxListEntries {
+		return nil, fmt.Errorf("repo: pack: bad entry count")
+	}
+	rest = rest[n:]
+	files := make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(rest)
+		if n <= 0 || nameLen > 512 || uint64(len(rest)-n) < nameLen {
+			return nil, fmt.Errorf("repo: pack: truncated name in entry %d", i)
+		}
+		name := string(rest[n : n+int(nameLen)])
+		rest = rest[n+int(nameLen):]
+		if !validName(name) {
+			return nil, fmt.Errorf("repo: pack: invalid name %q in entry %d", name, i)
+		}
+		contentLen, n := binary.Uvarint(rest)
+		if n <= 0 || contentLen > maxPackEntrySize || uint64(len(rest)-n) < contentLen {
+			return nil, fmt.Errorf("repo: pack: truncated content for %q", name)
+		}
+		files[name] = rest[n : n+int(contentLen) : n+int(contentLen)]
+		rest = rest[n+int(contentLen):]
+	}
+	return files, nil
+}
+
+// PackFileName returns the on-disk file name for a module's pack file, or an
+// error if the module name could not safely be used as a file name.
+func PackFileName(module string) (string, error) {
+	if !validName(module) {
+		return "", fmt.Errorf("repo: pack: invalid module name %q", module)
+	}
+	return module + ".pp", nil
+}
+
+// DirFetcher serves publication points from a directory of pack files, one
+// "<module>.pp" per module. It reads exactly one module's bytes per fetch,
+// which is what lets a streaming relying party bound its resident set by the
+// number of in-flight modules rather than the size of the world.
+//
+// DirFetcher structurally implements rp.Fetcher (declared there; this
+// package cannot import rp).
+type DirFetcher struct {
+	// Root is the directory holding the pack files.
+	Root string
+}
+
+// FetchAll reads the module's pack file. The returned byte slices alias one
+// backing buffer per call and must be treated as read-only.
+func (d DirFetcher) FetchAll(_ context.Context, uri URI) (map[string][]byte, error) {
+	name, err := PackFileName(uri.Module)
+	if err != nil {
+		return nil, err
+	}
+	files, err := ReadPackFile(filepath.Join(d.Root, name))
+	if err != nil {
+		return nil, fmt.Errorf("repo: fetching module %q: %w", uri.Module, err)
+	}
+	return files, nil
+}

@@ -16,47 +16,88 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// storeShardCount is the number of lock shards per store. Sixteen keeps
+// per-shard contention negligible even with tens of validation workers
+// hammering one publication point, at a fixed 16-mutex cost per store.
+const storeShardCount = 16
 
 // Store is one publication point's object store: a flat namespace of files.
 // It is safe for concurrent use. The publishing authority may overwrite or
 // delete any object at any time — persistently named, mutable objects are an
 // RPKI design decision (key rollover support) that enables stealthy
 // revocation.
+//
+// The namespace is sharded across storeShardCount locks so that concurrent
+// readers (parallel relying-party workers, monitors) do not serialize on one
+// mutex. Single-object operations are atomic; Snapshot and Replace are
+// atomic per shard, which preserves the pre-sharding guarantee observable by
+// fetchers (a snapshot could always land between two Puts of a multi-object
+// republish).
 type Store struct {
-	mu      sync.RWMutex
-	files   map[string][]byte
-	version uint64
+	shards [storeShardCount]storeShard
+	// version counts mutations. It is bumped after the mutation lands,
+	// while the mutated shard's lock is still held: a reader that observes
+	// version v before snapshotting therefore sees every mutation counted
+	// by v, so version-equality proves snapshot-equality (never the
+	// reverse order, which would let an unchanged version hide new data).
+	version atomic.Uint64
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	// files maps object name to content. guarded by mu.
+	files map[string][]byte
 }
 
 // NewStore returns an empty publication point.
 func NewStore() *Store {
-	return &Store{files: make(map[string][]byte)}
+	s := &Store{}
+	for i := range s.shards {
+		//lint:ignore guardedby the store is not yet published to any other goroutine
+		s.shards[i].files = make(map[string][]byte)
+	}
+	return s
+}
+
+// shardIndex picks the lock shard for an object name (FNV-1a).
+func shardIndex(name string) int {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * prime
+	}
+	return int(h % storeShardCount)
 }
 
 // Put publishes (or overwrites) an object.
 func (s *Store) Put(name string, content []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.files[name] = append([]byte(nil), content...)
-	s.version++
+	sh := &s.shards[shardIndex(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.files[name] = append([]byte(nil), content...)
+	s.version.Add(1)
 }
 
 // Delete removes an object. Deleting a never-published name is a no-op.
 func (s *Store) Delete(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.files[name]; ok {
-		delete(s.files, name)
-		s.version++
+	sh := &s.shards[shardIndex(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.files[name]; ok {
+		delete(sh.files, name)
+		s.version.Add(1)
 	}
 }
 
 // Get returns the content of an object.
 func (s *Store) Get(name string) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	content, ok := s.files[name]
+	sh := &s.shards[shardIndex(name)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	content, ok := sh.files[name]
 	if !ok {
 		return nil, false
 	}
@@ -65,11 +106,14 @@ func (s *Store) Get(name string) ([]byte, bool) {
 
 // List returns the sorted names of all published objects.
 func (s *Store) List() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.files))
-	for name := range s.files {
-		names = append(names, name)
+	var names []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.files {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
@@ -77,40 +121,61 @@ func (s *Store) List() []string {
 
 // Len returns the number of published objects.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.files)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.files)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Version returns a counter incremented on every mutation, for cheap
 // change detection by monitors.
 func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+	return s.version.Load()
 }
 
 // Snapshot returns a deep copy of the store contents, for diffing by
-// monitors and for atomic fetches.
+// monitors and for fetches.
 func (s *Store) Snapshot() map[string][]byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string][]byte, len(s.files))
-	for name, content := range s.files {
-		out[name] = append([]byte(nil), content...)
+	out := make(map[string][]byte, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name, content := range sh.files {
+			out[name] = append([]byte(nil), content...)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
-// Replace atomically replaces the entire contents of the store.
+// Replace atomically replaces the entire contents of the store. All shard
+// locks are held for the duration, so no reader observes a mix of old and
+// new contents.
 func (s *Store) Replace(files map[string][]byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.files = make(map[string][]byte, len(files))
-	for name, content := range files {
-		s.files[name] = append([]byte(nil), content...)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
 	}
-	s.version++
+	s.replaceContentsLocked(files)
+	s.version.Add(1)
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// replaceContentsLocked rebuilds every shard's namespace from files. All
+// shard locks must be held.
+func (s *Store) replaceContentsLocked(files map[string][]byte) {
+	for i := range s.shards {
+		s.shards[i].files = make(map[string][]byte, len(files)/storeShardCount+1)
+	}
+	for name, content := range files {
+		sh := &s.shards[shardIndex(name)]
+		sh.files[name] = append([]byte(nil), content...)
+	}
 }
 
 // String summarizes the store.

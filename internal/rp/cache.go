@@ -27,20 +27,27 @@ import (
 // the same key block on one verification instead of duplicating it, which
 // also keeps the hit/miss counters exact at any worker count.
 type objectCache struct {
-	roas  memo[*roa.Signed]
-	mfts  memo[*manifest.Signed]
-	certs memo[*cert.ResourceCert]
-	crls  memo[*cert.CRL]
-	sigs  *cert.VerifyCache
+	// retain enables the parsed-object memos. Streaming relying parties set
+	// it false: retained decodings grow linearly with the world, so they
+	// keep only the fixed-size signature-verdict cache and re-parse on
+	// every sync (module-level digest reuse makes that rare in steady
+	// state). Hit/miss counters stay zero when retention is off.
+	retain bool
+	roas   memo[*roa.Signed]
+	mfts   memo[*manifest.Signed]
+	certs  memo[*cert.ResourceCert]
+	crls   memo[*cert.CRL]
+	sigs   *cert.VerifyCache
 }
 
-func newObjectCache() *objectCache {
+func newObjectCache(retainParsed bool) *objectCache {
 	return &objectCache{
-		roas:  newMemo[*roa.Signed](),
-		mfts:  newMemo[*manifest.Signed](),
-		certs: newMemo[*cert.ResourceCert](),
-		crls:  newMemo[*cert.CRL](),
-		sigs:  cert.NewVerifyCache(),
+		retain: retainParsed,
+		roas:   newMemo[*roa.Signed](),
+		mfts:   newMemo[*manifest.Signed](),
+		certs:  newMemo[*cert.ResourceCert](),
+		crls:   newMemo[*cert.CRL](),
+		sigs:   cert.NewVerifyCache(),
 	}
 }
 
@@ -90,7 +97,7 @@ func (mm *memo[T]) get(st *syncState, hash [32]byte, f func() (T, error)) (T, er
 // parseROA decodes and CMS-verifies a ROA, memoized. A nil cache parses
 // directly.
 func (c *objectCache) parseROA(st *syncState, hash [32]byte, raw []byte) (*roa.Signed, error) {
-	if c == nil {
+	if c == nil || !c.retain {
 		return roa.ParseSigned(raw)
 	}
 	return c.roas.get(st, hash, func() (*roa.Signed, error) { return roa.ParseSigned(raw) })
@@ -98,7 +105,7 @@ func (c *objectCache) parseROA(st *syncState, hash [32]byte, raw []byte) (*roa.S
 
 // parseManifest decodes and CMS-verifies a manifest, memoized.
 func (c *objectCache) parseManifest(st *syncState, hash [32]byte, raw []byte) (*manifest.Signed, error) {
-	if c == nil {
+	if c == nil || !c.retain {
 		return manifest.ParseSigned(raw)
 	}
 	return c.mfts.get(st, hash, func() (*manifest.Signed, error) { return manifest.ParseSigned(raw) })
@@ -106,7 +113,7 @@ func (c *objectCache) parseManifest(st *syncState, hash [32]byte, raw []byte) (*
 
 // parseCert decodes a resource certificate, memoized.
 func (c *objectCache) parseCert(st *syncState, hash [32]byte, raw []byte) (*cert.ResourceCert, error) {
-	if c == nil {
+	if c == nil || !c.retain {
 		return cert.Parse(raw)
 	}
 	return c.certs.get(st, hash, func() (*cert.ResourceCert, error) { return cert.Parse(raw) })
@@ -114,7 +121,7 @@ func (c *objectCache) parseCert(st *syncState, hash [32]byte, raw []byte) (*cert
 
 // parseCRL decodes a CRL, memoized.
 func (c *objectCache) parseCRL(st *syncState, hash [32]byte, raw []byte) (*cert.CRL, error) {
-	if c == nil {
+	if c == nil || !c.retain {
 		return cert.ParseCRL(raw)
 	}
 	return c.crls.get(st, hash, func() (*cert.CRL, error) { return cert.ParseCRL(raw) })

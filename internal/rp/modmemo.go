@@ -84,8 +84,11 @@ type moduleEntry struct {
 	// (valid only when hasVersion).
 	version    uint64
 	hasVersion bool
-	// files is the exact snapshot the entry was validated from.
-	files map[string][]byte
+	// files is the exact snapshot the entry was validated from. In
+	// streaming mode it is nil and digests carries the per-object SHA-256
+	// of that snapshot instead — same reuse guarantee, none of the bytes.
+	files   map[string][]byte
+	digests map[string][32]byte
 	// notBefore/notAfter bound the epoch inside which the cached verdicts
 	// are time-invariant: max of all validated certs' notBefore, and min of
 	// cert notAfters, manifest nextUpdate, and winning CRL nextUpdate.
@@ -182,6 +185,21 @@ func sameFiles(a, b map[string][]byte) bool {
 	return true
 }
 
+// sameDigests reports whether a snapshot's per-object hashes match a
+// digest-only memo entry (tier 3, streaming flavor).
+func sameDigests(hashes, digests map[string][32]byte) bool {
+	if len(hashes) != len(digests) {
+		return false
+	}
+	for name, h := range hashes {
+		d, ok := digests[name]
+		if !ok || d != h {
+			return false
+		}
+	}
+	return true
+}
+
 // moduleBuild accumulates one walk's per-module outputs so they can be
 // merged into the sync result and, when clean, committed to the memo. Its
 // WaitGroup tracks the module's own object tasks (not child walks); the
@@ -195,6 +213,12 @@ type moduleBuild struct {
 	version    uint64
 	hasVersion bool
 	files      map[string][]byte
+	// hashes is the per-object digest map computed by the walk's hashing
+	// pass; in streaming mode it becomes the memo entry's digest snapshot.
+	hashes map[string][32]byte
+	// holdsSlot marks that the walk acquired an in-flight-module slot
+	// (streaming mode) which commitModule must release.
+	holdsSlot bool
 
 	wg sync.WaitGroup
 

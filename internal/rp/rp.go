@@ -195,6 +195,21 @@ type Config struct {
 	// fans out across this many goroutines. 0 means runtime.GOMAXPROCS(0);
 	// 1 is the sequential baseline. Results are identical at any setting.
 	Workers int
+	// Streaming bounds the relying party's memory so Internet-scale worlds
+	// validate in a resident set sized by the in-flight window, not the
+	// world: per-module object bytes are released once the module commits,
+	// at most MaxInflightModules modules hold raw bytes at a time, parsed
+	// objects are not retained across syncs, and the module memo keeps
+	// per-object digests instead of byte snapshots (so warm re-syncs still
+	// skip re-validating provably unchanged modules, at the cost of
+	// re-hashing their bytes). VRP output is identical to the non-streaming
+	// path at any worker count. Combining Streaming with CacheSnapshots or
+	// StaleTTL reintroduces byte retention for those features.
+	Streaming bool
+	// MaxInflightModules bounds how many publication points' raw bytes are
+	// resident at once in streaming mode (default 2×Workers). Ignored when
+	// Streaming is false.
+	MaxInflightModules int
 	// StaleTTL enables last-known-good fallback: when a publication point
 	// cannot be fetched, its most recent cleanly-validated snapshot — no
 	// older than StaleTTL — is validated in its place, with DiagStaleFallback
@@ -223,6 +238,13 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxInflightModules() int {
+	if c.MaxInflightModules > 0 {
+		return c.MaxInflightModules
+	}
+	return 2 * c.workers()
 }
 
 // RelyingParty validates RPKI hierarchies into VRP sets. It is safe for use
@@ -256,7 +278,10 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 		snapshots: make(map[string]map[string][]byte),
 	}
 	if !cfg.DisableVerifyCache {
-		rp.cache = newObjectCache()
+		// Streaming mode keeps the signature-verdict cache (small, fixed-size
+		// entries) but not the parsed-object cache, whose retained decodings
+		// would grow with the world.
+		rp.cache = newObjectCache(!cfg.Streaming)
 	}
 	if cfg.StaleTTL > 0 {
 		rp.lkg = newLKGStore()
@@ -355,6 +380,9 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		res: res,
 		sem: make(chan struct{}, rp.cfg.workers()),
 	}
+	if rp.cfg.Streaming {
+		st.fetchSem = make(chan struct{}, rp.cfg.maxInflightModules())
+	}
 	if rp.lkg != nil {
 		st.mu.Lock()
 		st.fetched = make(map[string]map[string][]byte)
@@ -411,6 +439,11 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// sumsPool recycles the per-module hashing scratch. Digest values are copied
+// out into per-module maps before the slice is returned, so pooled backing
+// arrays are never referenced by results.
+var sumsPool = sync.Pool{New: func() any { return new([][32]byte) }}
+
 // sortDiagnostics puts diagnostics into canonical order so the result is
 // byte-for-byte reproducible regardless of goroutine scheduling.
 func sortDiagnostics(diags []Diagnostic) {
@@ -441,7 +474,14 @@ type syncState struct {
 	rp  *RelyingParty
 	ctx context.Context
 	sem chan struct{}
-	wg  sync.WaitGroup
+	// fetchSem bounds how many modules hold raw object bytes at once in
+	// streaming mode (nil otherwise). A slot is held from just before the
+	// module's fetch until its commit releases the bytes. Holders always
+	// make progress — a module's commit waits only on its own object tasks
+	// (worker slots, never fetch slots), not on child walks — so the bound
+	// cannot deadlock.
+	fetchSem chan struct{}
+	wg       sync.WaitGroup
 
 	mu sync.Mutex
 	// res is the accumulating result. guarded by mu.
@@ -491,6 +531,22 @@ func (st *syncState) run(f func()) {
 	<-st.sem
 }
 
+// acquireModule takes an in-flight-module slot in streaming mode (no-op
+// otherwise). Callers must pair it with exactly one releaseModule, reached
+// either directly on an early walk exit or via the module's commit.
+func (st *syncState) acquireModule() {
+	if st.fetchSem != nil {
+		st.fetchSem <- struct{}{}
+	}
+}
+
+// releaseModule returns an in-flight-module slot (no-op outside streaming).
+func (st *syncState) releaseModule() {
+	if st.fetchSem != nil {
+		<-st.fetchSem
+	}
+}
+
 func (st *syncState) diag(kind DiagKind, module, object string, err error) {
 	st.mu.Lock()
 	st.res.diag(kind, module, object, err)
@@ -533,16 +589,19 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		}
 	}
 
+	st.acquireModule()
 	files, unchanged, err := st.rp.fetch(st.ctx, st, uri)
 	if err != nil && st.ctx.Err() != nil {
 		// Cancellation is an abort, not incompleteness: no diagnostic.
 		st.setErr(st.ctx.Err())
+		st.releaseModule()
 		return
 	}
-	mb := &moduleBuild{memoizable: err == nil, version: storeVersion, hasVersion: hasVersion}
+	mb := &moduleBuild{memoizable: err == nil, version: storeVersion, hasVersion: hasVersion, holdsSlot: st.fetchSem != nil}
 	switch {
 	case err != nil && len(files) == 0:
 		if files = st.lkgFallback(uri, err); files == nil {
+			st.releaseModule()
 			return
 		}
 	case err != nil:
@@ -551,22 +610,24 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		st.recordFetched(uri.Module, files)
 		// Reuse tiers 2 and 3: fetched, but byte-identical to the cached
 		// entry's snapshot — either every STAT hash matched server-side
-		// (unchanged) or the bytes compare equal locally.
+		// (unchanged) or the bytes compare equal locally (the byte snapshot
+		// exists only outside streaming mode; sameFiles of a digest-only
+		// entry is false and the digest comparison below decides instead).
 		if e := st.rp.memo.get(uri.Module); e != nil && e.matches(authority, effective) && e.within(now) &&
 			(unchanged || sameFiles(files, e.files)) {
 			st.rp.memo.refreshVersion(uri.Module, storeVersion, hasVersion)
+			st.releaseModule()
 			st.reuseModule(e, uri, depth)
 			return
 		}
 	}
 	mb.files = files
-	st.mu.Lock()
-	st.res.ModulesRevalidated++
-	st.mu.Unlock()
 
 	// Hash every fetched object exactly once, in parallel chunks. The
-	// digests drive both the manifest cross-check and per-object admission
-	// below, and key the verification cache.
+	// digests drive the manifest cross-check, per-object admission, the
+	// verification-cache keys, and (in streaming mode) the digest-level
+	// reuse check below. The scratch slice is pooled: its values are copied
+	// into the hashes map, so nothing retains it after Put.
 	names := make([]string, 0, len(files))
 	for name := range files {
 		names = append(names, name)
@@ -574,7 +635,13 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 	sort.Strings(names)
 	hashes := make(map[string][32]byte, len(names))
 	{
-		sums := make([][32]byte, len(names))
+		sumsP := sumsPool.Get().(*[][32]byte)
+		sums := *sumsP
+		if cap(sums) < len(names) {
+			sums = make([][32]byte, len(names))
+		} else {
+			sums = sums[:len(names)]
+		}
 		var hwg sync.WaitGroup
 		workers := cap(st.sem)
 		chunk := (len(names) + workers - 1) / workers
@@ -600,7 +667,27 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		for i, name := range names {
 			hashes[name] = sums[i]
 		}
+		*sumsP = sums
+		sumsPool.Put(sumsP)
 	}
+	mb.hashes = hashes
+
+	// Reuse tier 3, streaming flavor: the memo kept per-object digests
+	// rather than a byte snapshot, so unchanged-ness is decided here, after
+	// hashing — the module's bytes are re-hashed but nothing is re-parsed
+	// or re-verified.
+	if mb.memoizable {
+		if e := st.rp.memo.get(uri.Module); e != nil && e.digests != nil &&
+			e.matches(authority, effective) && e.within(now) && sameDigests(hashes, e.digests) {
+			st.rp.memo.refreshVersion(uri.Module, storeVersion, hasVersion)
+			st.releaseModule()
+			st.reuseModule(e, uri, depth)
+			return
+		}
+	}
+	st.mu.Lock()
+	st.res.ModulesRevalidated++
+	st.mu.Unlock()
 
 	// Locate and validate the manifest named by the authority's SIA.
 	mftName := manifestName(authority, uri)
@@ -722,7 +809,9 @@ func (st *syncState) reuseModule(e *moduleEntry, uri repo.URI, depth int) {
 	st.res.CertsAccepted += e.certs
 	st.res.VRPs = append(st.res.VRPs, e.vrps...)
 	st.mu.Unlock()
-	st.recordFetched(uri.Module, e.files)
+	if e.files != nil { // digest-only (streaming) entries keep no snapshot
+		st.recordFetched(uri.Module, e.files)
+	}
 	for _, ch := range e.children {
 		ch := ch
 		st.spawn(func() { st.walk(ch.cert, ch.effective, ch.uri, depth-1) })
@@ -735,6 +824,11 @@ func (st *syncState) reuseModule(e *moduleEntry, uri repo.URI, depth int) {
 // sources (LKG fallback, partial fetch) merge without touching the memo —
 // their bytes do not correspond to the point's current snapshot.
 func (st *syncState) commitModule(uri repo.URI, authority *cert.ResourceCert, effective ipres.Set, mb *moduleBuild) {
+	// Committing releases the module's raw bytes: drop the in-flight slot
+	// (streaming) once the memo decision below no longer needs them.
+	if mb.holdsSlot {
+		defer st.releaseModule()
+	}
 	mb.mu.Lock()
 	clean := mb.diags == 0
 	mb.mu.Unlock()
@@ -750,19 +844,27 @@ func (st *syncState) commitModule(uri repo.URI, authority *cert.ResourceCert, ef
 		st.rp.memo.delete(uri.Module)
 		return
 	}
-	st.rp.memo.put(uri.Module, &moduleEntry{
+	entry := &moduleEntry{
 		authorityHash: authorityDigest(authority),
 		effective:     effective,
 		version:       mb.version,
 		hasVersion:    mb.hasVersion,
-		files:         mb.files,
 		notBefore:     mb.notBefore,
 		notAfter:      mb.notAfter,
 		vrps:          mb.vrps,
 		roas:          mb.roas,
 		certs:         mb.certs,
 		children:      mb.children,
-	})
+	}
+	if st.rp.cfg.Streaming {
+		// Keep digests only: unchanged-ness is re-proven by re-hashing, and
+		// the module's bytes become collectable the moment the walk drops
+		// them.
+		entry.digests = mb.hashes
+	} else {
+		entry.files = mb.files
+	}
+	st.rp.memo.put(uri.Module, entry)
 }
 
 // recordFetched remembers a point's cleanly-fetched files for the LKG

@@ -1,0 +1,108 @@
+package rp_test
+
+// Streaming-mode equivalence: the memory-bounded walk (Config.Streaming)
+// must produce VRP sets identical to the default path on the same world, at
+// any worker count — the correctness bar for the whole memory-bounded
+// validation rework. The test package is external because the worlds come
+// from modelgen, which itself imports rp.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/modelgen"
+	"repro/internal/rp"
+)
+
+// syncOnce validates a world and asserts a clean run.
+func syncOnce(t *testing.T, v *rp.RelyingParty) *rp.Result {
+	t.Helper()
+	res, err := v.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) > 0 {
+		t.Fatalf("unexpected diagnostics, first: %v", res.Diagnostics[0])
+	}
+	return res
+}
+
+// assertSameVRPs compares two canonically sorted results element-wise.
+func assertSameVRPs(t *testing.T, want, got *rp.Result, label string) {
+	t.Helper()
+	if len(want.VRPs) != len(got.VRPs) {
+		t.Fatalf("%s: %d VRPs, want %d", label, len(got.VRPs), len(want.VRPs))
+	}
+	for i := range want.VRPs {
+		if want.VRPs[i].Compare(got.VRPs[i]) != 0 {
+			t.Fatalf("%s: VRP %d = %+v, want %+v", label, i, got.VRPs[i], want.VRPs[i])
+		}
+	}
+	if want.ROAsAccepted != got.ROAsAccepted || want.CertsAccepted != got.CertsAccepted {
+		t.Fatalf("%s: accepted (roas=%d, certs=%d), want (roas=%d, certs=%d)",
+			label, got.ROAsAccepted, got.CertsAccepted, want.ROAsAccepted, want.CertsAccepted)
+	}
+}
+
+func TestStreamingEquivalenceSynthetic(t *testing.T) {
+	w, err := modelgen.Synthetic(modelgen.ProductionSized(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := syncOnce(t, rp.New(rp.Config{
+		Fetcher: w.Stores, Clock: w.Clock, Workers: 1,
+	}, w.Anchor()))
+	for _, workers := range []int{1, 4} {
+		streamed := syncOnce(t, rp.New(rp.Config{
+			Fetcher: w.Stores, Clock: w.Clock, Workers: workers, Streaming: true,
+		}, w.Anchor()))
+		assertSameVRPs(t, baseline, streamed, "streaming synthetic")
+	}
+}
+
+func TestStreamingEquivalence10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k tier generation in -short mode")
+	}
+	w, err := modelgen.GenerateScaled(modelgen.ScaleConfig{
+		Seed: 99, ROAs: modelgen.Tier10k, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor, err := w.Anchor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline *rp.Result
+	for _, workers := range []int{1, 4} {
+		plain := syncOnce(t, rp.New(rp.Config{
+			Fetcher: w.Fetcher(), Clock: w.Clock(), Workers: workers,
+		}, anchor))
+		if baseline == nil {
+			baseline = plain
+			if plain.ROAsAccepted != modelgen.Tier10k {
+				t.Fatalf("baseline accepted %d ROAs, want %d", plain.ROAsAccepted, modelgen.Tier10k)
+			}
+		} else {
+			assertSameVRPs(t, baseline, plain, "baseline workers=4")
+		}
+
+		v := rp.New(rp.Config{
+			Fetcher: w.Fetcher(), Clock: w.Clock(), Workers: workers, Streaming: true,
+		}, anchor)
+		streamed := syncOnce(t, v)
+		assertSameVRPs(t, baseline, streamed, "streaming 10k")
+
+		// Warm re-sync: the digest-only memo must prove every module
+		// unchanged (re-hash, no re-validation) and reproduce the VRPs.
+		warm := syncOnce(t, v)
+		if warm.ModulesRevalidated != 0 {
+			t.Fatalf("warm streaming re-sync revalidated %d modules, want 0", warm.ModulesRevalidated)
+		}
+		if warm.ModulesReused != w.Meta.Modules {
+			t.Fatalf("warm streaming re-sync reused %d modules, want %d", warm.ModulesReused, w.Meta.Modules)
+		}
+		assertSameVRPs(t, baseline, warm, "warm streaming 10k")
+	}
+}
