@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rpki-bench [-out BENCH_PR6.json] [-tiers 10000,100000,1000000]
+//	rpki-bench [-out BENCH_PR7.json] [-tiers 10000,100000,1000000]
 //	           [-micro] [-benchtime 1s] [-workers N] [-rss-budget-mb M]
 //	           [-worlddir DIR]
 //
@@ -13,8 +13,12 @@
 //   - The micro suite (-micro, on by default) covers the steady-state
 //     polling pipeline end to end: cold validation of the production-sized
 //     synthetic world, warm re-syncs with and without module memoization,
-//     the one-module-changed incremental sync, the VRP set diff, and the RTR
-//     fan-out of a one-VRP delta to 100 concurrent router clients.
+//     the same warm re-sync with full observability attached (the report
+//     records the overhead percentage), the one-module-changed incremental
+//     sync, the VRP set diff, the RTR fan-out of a one-VRP delta to 100
+//     concurrent router clients, and the internal/obs metric hot paths —
+//     the obs_* benchmarks hard-fail if a counter/gauge/histogram update
+//     allocates.
 //
 //   - The scaling suite (-tiers) generates seeded on-disk worlds at each
 //     tier (ROA count) and measures, per tier: generation, cold streaming
@@ -50,6 +54,7 @@ import (
 	rpkirisk "repro"
 	"repro/internal/ipres"
 	"repro/internal/modelgen"
+	"repro/internal/obs"
 	"repro/internal/roa"
 	"repro/internal/rov"
 	"repro/internal/rp"
@@ -92,10 +97,14 @@ type report struct {
 	CPUs      int           `json:"cpus"`
 	Results   []benchResult `json:"results,omitempty"`
 	Scale     []scaleResult `json:"scale,omitempty"`
+	// ObsOverheadPct is the warm re-sync cost of full instrumentation:
+	// (warm_resync_instrumented - warm_resync_module_reuse) / baseline,
+	// as a percentage. Nil when the micro suite did not run.
+	ObsOverheadPct *float64 `json:"obs_warm_resync_overhead_pct,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "write the JSON report to this file (empty: stdout only)")
+	out := flag.String("out", "BENCH_PR7.json", "write the JSON report to this file (empty: stdout only)")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per micro-benchmark")
 	micro := flag.Bool("micro", true, "run the micro-benchmark suite")
 	tiers := flag.String("tiers", "", "comma-separated ROA tiers for the scaling suite (e.g. 10000,100000,1000000)")
@@ -489,6 +498,34 @@ func runMicro(rep *report) {
 		}
 	})
 
+	run("warm_resync_instrumented", func(b *testing.B) {
+		// The module-reuse warm re-sync again, this time with the full
+		// observability plane attached: metrics, per-sync trace, flight
+		// recorder. The delta against warm_resync_module_reuse is the
+		// instrumentation tax on the steady-state hot path.
+		hub := obs.NewHub(world.Clock)
+		relying := rp.New(rp.Config{Fetcher: world.Stores, Clock: world.Clock, Obs: hub}, world.Anchor())
+		if _, err := relying.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := relying.Sync(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ModulesRevalidated != 0 {
+				b.Fatalf("re-validated %d modules", res.ModulesRevalidated)
+			}
+		}
+	})
+
+	if base, inst := lastResult(rep, "warm_resync_module_reuse"), lastResult(rep, "warm_resync_instrumented"); base != nil && inst != nil && base.NsPerOp > 0 {
+		pct := (inst.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		rep.ObsOverheadPct = &pct
+		fmt.Printf("%-32s %+.2f%%\n", "obs overhead (warm re-sync)", pct)
+	}
+
 	run("warm_resync_streaming", func(b *testing.B) {
 		relying := rp.New(rp.Config{Fetcher: world.Stores, Clock: world.Clock, Streaming: true}, world.Anchor())
 		if _, err := relying.Sync(ctx); err != nil {
@@ -551,6 +588,42 @@ func runMicro(rep *report) {
 		}
 	})
 
+	// Metric hot paths: the observability contract is that an update on a
+	// held handle is a few atomic operations and never allocates. These
+	// fail the whole run on a single alloc/op — a heap-allocating counter
+	// would tax every object of every sync.
+	runZeroAlloc := func(name string, fn func(b *testing.B)) {
+		run(name, fn)
+		if last := lastResult(rep, name); last != nil && last.AllocsPerOp != 0 {
+			fatal(fmt.Errorf("%s: %d allocs/op, want 0 — metric updates must not allocate", name, last.AllocsPerOp))
+		}
+	}
+	mreg := obs.NewRegistry()
+	mctr := mreg.Counter("bench_counter_total", "bench")
+	mgauge := mreg.Gauge("bench_gauge", "bench")
+	mhist := mreg.Histogram("bench_hist_seconds", "bench", obs.DurationBuckets())
+	mchild := mreg.CounterVec("bench_vec_total", "bench", "module").With("rir-0-isp-0")
+	runZeroAlloc("obs_counter_inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mctr.Inc()
+		}
+	})
+	runZeroAlloc("obs_gauge_set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgauge.Set(float64(i))
+		}
+	})
+	runZeroAlloc("obs_histogram_observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mhist.Observe(float64(i%1000) / 1000)
+		}
+	})
+	runZeroAlloc("obs_countervec_held_child_inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mchild.Inc()
+		}
+	})
+
 	run("rtr_fanout_100_clients", func(b *testing.B) {
 		const clients = 100
 		extra := rov.VRP{Prefix: rpkirisk.MustParsePrefix("192.0.2.0/24"), MaxLength: 24, ASN: ipres.ASN(64500)}
@@ -590,6 +663,16 @@ func runMicro(rep *report) {
 			await()
 		}
 	})
+}
+
+// lastResult finds the most recent micro result with the given name.
+func lastResult(rep *report, name string) *benchResult {
+	for i := len(rep.Results) - 1; i >= 0; i-- {
+		if rep.Results[i].Name == name {
+			return &rep.Results[i]
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

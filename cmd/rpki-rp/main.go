@@ -7,7 +7,7 @@
 //
 //	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-poll 30s] [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
 //	        [-max-retries N] [-request-timeout D] [-stale-ttl D] [-breaker-threshold N] [-breaker-cooldown D]
-//	        [-no-module-reuse] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-no-module-reuse] [-ops-listen 127.0.0.1:9090] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -poll the daemon re-syncs on the given interval. Steady-state polls
 // are incremental: object snapshots are cached so unchanged objects are
@@ -24,6 +24,15 @@
 // cannot stall a sync, repeated failures trip a per-point circuit breaker
 // (-breaker-threshold/-breaker-cooldown), and unreachable points are served
 // from their last cleanly validated snapshot for up to -stale-ttl.
+//
+// With -ops-listen the daemon serves an operator HTTP surface: /metrics
+// (Prometheus text format), /healthz, /readyz (200 once a clean or
+// LKG-valid sync exists), /debug/flightrecorder (recent degraded events),
+// /debug/lasttrace (the last sync's span tree), and /debug/pprof. Profiles:
+// use /debug/pprof against a live daemon (sample exactly the window you
+// care about, no restart); use -cpuprofile/-memprofile for one-shot runs
+// that exit before you could attach — both go through the same
+// internal/obs profiling helper.
 package main
 
 import (
@@ -33,11 +42,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
 	"syscall"
 	"time"
 
 	rpkirisk "repro"
+	"repro/internal/obs"
 	"repro/internal/repo"
 	"repro/internal/rp"
 )
@@ -56,39 +65,28 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a point's circuit breaker (0: no breaker)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker refuses requests before probing")
 	noModuleReuse := flag.Bool("no-module-reuse", false, "re-validate every publication point on every poll, even provably unchanged ones")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	opsListen := flag.String("ops-listen", "", "serve /metrics, /healthz, /readyz, /debug/* on this address (empty: disabled)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
 	flag.Parse()
 	if *poll != 0 {
 		*interval = *poll
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	// File profiles and /debug/pprof share the helper in internal/obs; files
+	// suit one-shot runs, the HTTP surface suits a long-lived daemon.
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}()
 
 	anchor, err := rpkirisk.ReadTAL(*talPath)
 	if err != nil {
@@ -116,6 +114,17 @@ func main() {
 			Cooldown:         *breakerCooldown,
 		})
 	}
+	var hub *obs.Hub
+	if *opsListen != "" {
+		hub = obs.NewHub(nil)
+		client.Instrument(hub)
+		ops, err := hub.ServeOps(*opsListen)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = ops.Close() }()
+		fmt.Printf("ops server on %s\n", ops.Addr())
+	}
 	relying := rp.New(rp.Config{
 		Fetcher:            client,
 		Policy:             missing,
@@ -123,13 +132,28 @@ func main() {
 		StaleTTL:           *staleTTL,
 		CacheSnapshots:     true,
 		DisableModuleReuse: *noModuleReuse,
+		Obs:                hub,
 	}, anchor)
 
+	var syncs uint64
 	sync := func() *rp.Result {
 		result, err := relying.Sync(context.Background())
 		if err != nil {
 			fatal(err)
 		}
+		syncs++
+		state := result.Health()
+		hub.SetHealth(obs.Health{
+			// Ready = this sync produced servable output: every point
+			// either validated cleanly or was covered by its last-known-good
+			// snapshot. Sticky in the hub thereafter.
+			Ready: state == obs.HealthClean || state == obs.HealthStale,
+			State: state,
+			Detail: fmt.Sprintf("%d VRPs, %d diagnostics, %d stale fallbacks",
+				len(result.VRPs), len(result.Diagnostics), result.StaleFallbacks),
+			LastSyncAt: time.Now(),
+			Syncs:      syncs,
+		})
 		fmt.Printf("synced: %d CAs, %d ROAs, %d VRPs", result.CertsAccepted, result.ROAsAccepted, len(result.VRPs))
 		if result.ModulesReused > 0 {
 			fmt.Printf(" [%d modules reused, %d revalidated]", result.ModulesReused, result.ModulesRevalidated)
@@ -164,6 +188,7 @@ func main() {
 			fatal(err)
 		}
 		defer stopRTR()
+		cache.Instrument(hub)
 		fmt.Printf("RTR server on %s (serial %d)\n", bound, cache.Serial())
 		updateCache = func(r *rp.Result) { cache.SetVRPs(r.VRPs) }
 	}

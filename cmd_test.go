@@ -6,9 +6,12 @@ package rpkirisk
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -150,6 +153,152 @@ func TestCmdWhackDryRun(t *testing.T) {
 	}
 	if !strings.Contains(out, "dry run") || !strings.Contains(out, "revoke-subtree") {
 		t.Errorf("output:\n%s", out)
+	}
+}
+
+// startPubd boots rpki-pubd on loopback, waits for its TAL and serving
+// line, and returns the server address and TAL path. The process is killed
+// on test cleanup.
+func startPubd(t *testing.T) (addr, tal string) {
+	t.Helper()
+	dir := buildCommands(t)
+	tal = filepath.Join(t.TempDir(), "arin.tal")
+	pubd := exec.Command(filepath.Join(dir, "rpki-pubd"), "-listen", "127.0.0.1:0", "-tal", tal)
+	var pubdOut syncBuffer
+	pubd.Stdout = &pubdOut
+	pubd.Stderr = &pubdOut
+	if err := pubd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = pubd.Process.Kill()
+		_, _ = pubd.Process.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(tal); err == nil {
+			line := pubdOut.String()
+			if i := strings.Index(line, "points on "); i >= 0 {
+				rest := line[i+len("points on "):]
+				return strings.Fields(rest)[0], tal
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("pubd never became ready:\n%s", pubdOut.String())
+	return "", ""
+}
+
+// httpGet fetches a URL and returns status code and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue extracts the value of an unlabeled series from a Prometheus
+// text exposition body (-1 if absent).
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestCmdRPOpsSurface boots pubd plus a polling relying party with
+// -ops-listen and -rtr, waits for two poll cycles, and checks that the
+// operator surface exposes live sync, breaker, memo and RTR series along
+// with health, readiness, flight-recorder and trace endpoints.
+func TestCmdRPOpsSurface(t *testing.T) {
+	serverAddr, tal := startPubd(t)
+	dir := buildCommands(t)
+
+	rp := exec.Command(filepath.Join(dir, "rpki-rp"),
+		"-tal", tal, "-server", serverAddr,
+		"-poll", "250ms", "-rtr", "127.0.0.1:0", "-ops-listen", "127.0.0.1:0")
+	var rpOut syncBuffer
+	rp.Stdout = &rpOut
+	rp.Stderr = &rpOut
+	if err := rp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = rp.Process.Kill()
+		_, _ = rp.Process.Wait()
+	}()
+
+	// Wait for the ops listener to announce itself.
+	var opsAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		out := rpOut.String()
+		if i := strings.Index(out, "ops server on "); i >= 0 {
+			opsAddr = strings.Fields(out[i+len("ops server on "):])[0]
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if opsAddr == "" {
+		t.Fatalf("rp never announced its ops server:\n%s", rpOut.String())
+	}
+	base := "http://" + opsAddr
+
+	// Scrape until at least two poll cycles have completed.
+	var metrics string
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, body := httpGet(t, base+"/metrics"); metricValue(body, "rpki_syncs_total") >= 2 {
+			metrics = body
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if metrics == "" {
+		t.Fatalf("never saw two completed syncs on /metrics:\n%s", rpOut.String())
+	}
+
+	// One series from each instrumented layer must be present and sane.
+	for _, want := range []string{
+		"rpki_vrps 8",                     // relying party: validated cache
+		"rpki_sync_duration_seconds_sum",  // relying party: sync histogram
+		"rpki_modules_reused_total",       // module memo
+		"rpki_repo_breaker_trips_total 0", // repository client breakers
+		"rpki_repo_fetched_bytes_total",   // repository client transport
+		"rpki_rtr_serial",                 // RTR cache
+		"rpki_last_sync_unixtime",         // staleness anchor
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The steady-state polls against an unchanged world must reuse modules.
+	if v := metricValue(metrics, "rpki_modules_reused_total"); v < 1 {
+		t.Errorf("rpki_modules_reused_total = %v, want >= 1 after a warm poll", v)
+	}
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || !strings.Contains(body, `"clean"`) {
+		t.Errorf("/healthz = %d %q, want 200 with state clean", code, body)
+	}
+	if code, _ := httpGet(t, base+"/readyz"); code != 200 {
+		t.Errorf("/readyz = %d, want 200 after a clean sync", code)
+	}
+	if code, body := httpGet(t, base+"/debug/flightrecorder"); code != 200 || !strings.Contains(body, `"total"`) {
+		t.Errorf("/debug/flightrecorder = %d %q", code, body)
+	}
+	if code, body := httpGet(t, base+"/debug/lasttrace"); code != 200 || !strings.Contains(body, `"sync"`) {
+		t.Errorf("/debug/lasttrace = %d, want the last sync's span tree, got %q", code, body)
 	}
 }
 

@@ -27,6 +27,7 @@ func Rules() []*Rule {
 		guardedByRule,
 		wallclockRule,
 		diagExhaustiveRule,
+		metricsCoverageRule,
 		poolHygieneRule,
 	}
 }

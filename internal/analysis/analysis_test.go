@@ -99,6 +99,15 @@ func TestDiagExhaustive(t *testing.T) {
 	})
 }
 
+func TestMetricsCoverage(t *testing.T) {
+	rep := fixtureReport(t, "metricscoverage")
+	checkGolden(t, findingStrings(rep), []string{
+		"metricscoverage/metricscoverage.go:19: [diagexhaustive] table keyed by fixturemod/metricscoverage.DiagKind misses: DiagStale — an unmapped diagnostic renders as nothing when it matters most",
+		"metricscoverage/metricscoverage.go:19: [metricscoverage] obs event-kind table keyed by DiagKind misses: DiagStale — a degraded state without an event is invisible to operators",
+		"metricscoverage/metricscoverage.go:25: [metricscoverage] observable enum BreakerState has no obs event-kind table: every state this package can enter must map to a metric or flight-recorder event",
+	})
+}
+
 func TestPoolHygiene(t *testing.T) {
 	rep := fixtureReport(t, "pool")
 	checkGolden(t, findingStrings(rep), []string{

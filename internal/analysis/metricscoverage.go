@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// metricscoverage: the observability plane (internal/obs) only shows what
+// the instrumented packages feed it — a diagnostic kind or breaker state
+// with no flight-recorder event kind degrades invisibly, which is the
+// paper's failure mode re-created inside our own tooling. The rule finds
+// every "observable enum" — a named type with two or more package-level
+// Diag*- or Breaker*-prefixed constants — declared in a package that
+// imports an observability package (any package named "obs"), and
+// requires:
+//
+//   - at least one map composite literal keyed by that type whose value
+//     type comes from the obs package (the event-kind table);
+//   - the union of those tables' keys to contain every constant.
+//
+// Packages that do not import obs are exempt: the contract binds once a
+// package has opted into instrumentation. An intentionally-unobserved enum
+// needs a //lint:ignore with its reason.
+var metricsCoverageRule = &Rule{
+	Name: "metricscoverage",
+	Doc:  "observable enum (Diag*/Breaker* constants) lacks an exhaustive obs event-kind table",
+	Run:  runMetricsCoverage,
+}
+
+// observablePrefixes are the constant-name prefixes that mark an enum as
+// part of the degradation vocabulary.
+var observablePrefixes = []string{"Diag", "Breaker"}
+
+// observableConstants returns the package-level observable constants of
+// the named type t, or nil if t is not an observable enum (fewer than two
+// such constants).
+func observableConstants(t types.Type) map[string]bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	out := make(map[string]bool)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !hasObservablePrefix(name) {
+			continue
+		}
+		if types.Identical(c.Type(), t) {
+			out[name] = false
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
+func hasObservablePrefix(name string) bool {
+	for _, p := range observablePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// importsObs reports whether the package imports any package named "obs".
+func importsObs(pkg *Package) bool {
+	if pkg.Types == nil {
+		return false
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Name() == "obs" {
+			return true
+		}
+	}
+	return false
+}
+
+// fromObsPackage reports whether t is a named type declared in a package
+// named "obs".
+func fromObsPackage(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "obs"
+}
+
+func runMetricsCoverage(pass *Pass) {
+	if !importsObs(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// coverage tracks one observable enum declared in this package: which
+	// constants some event-kind table maps, and where the first table is.
+	type coverage struct {
+		tn     *types.TypeName
+		want   map[string]bool
+		tables int
+		first  *ast.CompositeLit
+	}
+	byType := make(map[*types.Named]*coverage)
+	var enums []*coverage
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		want := observableConstants(named)
+		if want == nil {
+			continue
+		}
+		cov := &coverage{tn: tn, want: want}
+		byType[named] = cov
+		enums = append(enums, cov)
+	}
+	if len(enums) == 0 {
+		return
+	}
+	sort.Slice(enums, func(i, j int) bool { return enums[i].tn.Pos() < enums[j].tn.Pos() })
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[lit]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			mt, ok := tv.Type.Underlying().(*types.Map)
+			if !ok {
+				return true
+			}
+			keyNamed, ok := mt.Key().(*types.Named)
+			if !ok {
+				return true
+			}
+			cov, ok := byType[keyNamed]
+			if !ok || !fromObsPackage(mt.Elem()) {
+				return true
+			}
+			cov.tables++
+			if cov.first == nil {
+				cov.first = lit
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if name := constName(info, kv.Key); name != "" {
+					if _, tracked := cov.want[name]; tracked {
+						cov.want[name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, cov := range enums {
+		if cov.tables == 0 {
+			pass.Reportf(cov.tn.Pos(),
+				"observable enum %s has no obs event-kind table: every state this package can enter must map to a metric or flight-recorder event",
+				cov.tn.Name())
+			continue
+		}
+		if missing := missingNames(cov.want); len(missing) != 0 {
+			pass.Reportf(cov.first.Pos(),
+				"obs event-kind table keyed by %s misses: %s — a degraded state without an event is invisible to operators",
+				cov.tn.Name(), strings.Join(missing, ", "))
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// HealthState is the daemon's coarse sync health, derived from the last
+// completed sync. It refines Result.Incomplete()'s single bit into the
+// three outcomes the degradation ladder can actually produce.
+type HealthState uint8
+
+const (
+	// HealthUnknown: no sync has completed yet.
+	HealthUnknown HealthState = iota
+	// HealthClean: the last sync validated every reachable point with no
+	// diagnostics and no fallbacks.
+	HealthClean
+	// HealthDegraded: the last sync completed but emitted diagnostics
+	// (failures, drops, invalid objects) without serving stale data.
+	HealthDegraded
+	// HealthStale: the last sync served at least one publication point
+	// from its last-known-good snapshot — output is valid but old.
+	HealthStale
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthUnknown:
+		return "unknown"
+	case HealthClean:
+		return "clean"
+	case HealthDegraded:
+		return "degraded"
+	case HealthStale:
+		return "stale"
+	}
+	return "invalid"
+}
+
+// Health is one snapshot of daemon liveness for /healthz and /readyz.
+type Health struct {
+	// Ready reports whether at least one sync has produced servable output
+	// (clean or LKG-valid). Once true it stays true: readiness gates
+	// "should this instance receive RTR clients", not "was the last poll
+	// perfect" — that is the health state's job.
+	Ready bool `json:"ready"`
+	// State classifies the last completed sync.
+	State HealthState `json:"-"`
+	// Detail is a human summary of the last sync (diag counts, fallbacks).
+	Detail string `json:"detail,omitempty"`
+	// LastSyncAt is the injected-clock time the last sync finished.
+	LastSyncAt time.Time `json:"last_sync_at"`
+	// Syncs counts completed syncs.
+	Syncs uint64 `json:"syncs"`
+}
+
+// MarshalJSON renders the state symbolically.
+func (h Health) MarshalJSON() ([]byte, error) {
+	type raw Health
+	return json.Marshal(struct {
+		raw
+		State string `json:"state"`
+	}{raw(h), h.State.String()})
+}
+
+// Hub bundles the observability plane one process shares: a metrics
+// registry, a flight recorder, a tracer, and the health snapshot the ops
+// endpoints serve. A nil *Hub is a valid "observability off" value — all
+// accessors return nil and instrumented components degrade to no-ops.
+type Hub struct {
+	reg *Registry
+	rec *FlightRecorder
+	trc *Tracer
+
+	mu sync.Mutex
+	// health is the current snapshot. guarded by mu.
+	health Health
+}
+
+// NewHub creates a hub on the given clock (nil: time.Now). The clock feeds
+// trace timing and flight-recorder timestamps; metrics are clock-free.
+func NewHub(clock func() time.Time) *Hub {
+	return &Hub{
+		reg: NewRegistry(),
+		rec: NewFlightRecorder(0, clock),
+		trc: NewTracer(clock, 0),
+	}
+}
+
+// Registry returns the hub's metrics registry (nil on a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Recorder returns the hub's flight recorder (nil on a nil hub).
+func (h *Hub) Recorder() *FlightRecorder {
+	if h == nil {
+		return nil
+	}
+	return h.rec
+}
+
+// Tracer returns the hub's tracer (nil on a nil hub).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.trc
+}
+
+// SetHealth publishes a new health snapshot (nil-safe). Readiness is
+// sticky: once any snapshot reports Ready, later ones cannot clear it.
+// A state change is also dropped into the flight recorder so operators
+// can line up degradation with the retries and fallbacks around it.
+func (h *Hub) SetHealth(next Health) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	prev := h.health
+	next.Ready = next.Ready || prev.Ready
+	h.health = next
+	h.mu.Unlock()
+	if next.State != prev.State {
+		h.rec.Recordf(EventHealthChange, "", "%s -> %s: %s", prev.State, next.State, next.Detail)
+	}
+}
+
+// HealthSnapshot returns the current health (zero value on a nil hub).
+func (h *Hub) HealthSnapshot() Health {
+	if h == nil {
+		return Health{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.health
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the operator HTTP surface of one Hub: metrics scrape,
+// liveness/readiness probes, flight-recorder and trace dumps, and pprof.
+type OpsServer struct {
+	hub *Hub
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps binds addr and serves the hub's ops endpoints on it until Close:
+//
+//	/metrics               Prometheus text exposition of the registry
+//	/healthz               200 + JSON health snapshot (liveness)
+//	/readyz                200 once a clean or LKG-valid sync exists, 503 before
+//	/debug/flightrecorder  JSON dump of retained degraded events
+//	/debug/lasttrace       JSON span tree of the most recent sync
+//	/debug/pprof/          interactive profiling (profile, heap, goroutine, ...)
+//
+// Handlers run on a private mux — nothing is registered on
+// http.DefaultServeMux, so importing net/http/pprof here cannot leak
+// profiling endpoints into any other server in the process.
+func (h *Hub) ServeOps(addr string) (*OpsServer, error) {
+	if h == nil {
+		return nil, fmt.Errorf("obs: ServeOps on nil hub")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.reg.WriteText(w); err != nil {
+			// Too late for a status code; the client sees a short body.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.HealthSnapshot())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		hs := h.HealthSnapshot()
+		code := http.StatusOK
+		if !hs.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, hs)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}{h.rec.Total(), h.rec.Snapshot()})
+	})
+	mux.HandleFunc("/debug/lasttrace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.trc.Last())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// Only the header read is bounded: /debug/pprof/profile legitimately
+	// streams a response for tens of seconds, so a WriteTimeout would
+	// truncate every CPU profile.
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	o := &OpsServer{hub: h, ln: ln, srv: srv}
+	go func() {
+		// Serve returns ErrServerClosed (or a listener error) on Close;
+		// the daemon is shutting down either way.
+		_ = srv.Serve(ln)
+	}()
+	return o, nil
+}
+
+// Addr returns the bound listen address (host:port with the real port).
+func (o *OpsServer) Addr() string {
+	return o.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (o *OpsServer) Close() error {
+	return o.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(b, '\n'))
+}

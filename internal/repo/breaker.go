@@ -90,7 +90,14 @@ type BreakerSet struct {
 	cfg    BreakerConfig
 	mu     sync.Mutex
 	points map[string]*breaker
+	// onTransition/onFastFail observe state changes and refused requests
+	// (nil: unobserved). Invoked under mu — observers must not call back
+	// into the set. guarded by mu.
+	onTransition func(key string, from, to BreakerState)
+	onFastFail   func(key string)
 
+	// trips and fastFails are lifetime counters, atomic so scrape-time
+	// metric callbacks read them without the lock.
 	trips     atomic.Int64
 	fastFails atomic.Int64
 }
@@ -98,6 +105,29 @@ type BreakerSet struct {
 // NewBreakerSet builds an empty breaker set.
 func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
 	return &BreakerSet{cfg: cfg, points: make(map[string]*breaker)}
+}
+
+// Observe registers callbacks fired on every state transition and every
+// fast-failed request (either may be nil). Callbacks run with the set's
+// lock held and must not call back into it. Nil-safe.
+func (b *BreakerSet) Observe(onTransition func(key string, from, to BreakerState), onFastFail func(key string)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onTransition = onTransition
+	b.onFastFail = onFastFail
+	b.mu.Unlock()
+}
+
+// transitionLocked moves p to state next, notifying the observer. Callers
+// hold b.mu.
+func (b *BreakerSet) transitionLocked(key string, p *breaker, next BreakerState) {
+	from := p.state
+	p.state = next
+	if b.onTransition != nil && from != next {
+		b.onTransition(key, from, next)
+	}
 }
 
 func (b *BreakerSet) point(key string) *breaker {
@@ -124,15 +154,15 @@ func (b *BreakerSet) Allow(key string) error {
 		return nil
 	case BreakerOpen:
 		if remaining := b.cfg.cooldown() - b.cfg.now().Sub(p.openedAt); remaining > 0 {
-			b.fastFails.Add(1)
+			b.fastFailLocked(key)
 			return fmt.Errorf("%w for %s (%v of cooldown remaining)", ErrCircuitOpen, key, remaining)
 		}
-		p.state = BreakerHalfOpen
+		b.transitionLocked(key, p, BreakerHalfOpen)
 		p.probing = true
 		return nil
 	default: // BreakerHalfOpen
 		if p.probing {
-			b.fastFails.Add(1)
+			b.fastFailLocked(key)
 			return fmt.Errorf("%w for %s (probe in flight)", ErrCircuitOpen, key)
 		}
 		p.probing = true
@@ -148,7 +178,7 @@ func (b *BreakerSet) Success(key string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	p := b.point(key)
-	p.state = BreakerClosed
+	b.transitionLocked(key, p, BreakerClosed)
 	p.failures = 0
 	p.probing = false
 }
@@ -167,18 +197,42 @@ func (b *BreakerSet) Failure(key string) {
 	case BreakerClosed:
 		p.failures++
 		if p.failures >= b.cfg.threshold() {
-			p.state = BreakerOpen
+			b.transitionLocked(key, p, BreakerOpen)
 			p.openedAt = b.cfg.now()
 			b.trips.Add(1)
 		}
 	case BreakerHalfOpen:
-		p.state = BreakerOpen
+		b.transitionLocked(key, p, BreakerOpen)
 		p.openedAt = b.cfg.now()
 		p.probing = false
 		b.trips.Add(1)
 	case BreakerOpen:
 		// Concurrent failures while already open change nothing.
 	}
+}
+
+// fastFailLocked counts one refused request, notifying the observer.
+// Callers hold b.mu.
+func (b *BreakerSet) fastFailLocked(key string) {
+	b.fastFails.Add(1)
+	if b.onFastFail != nil {
+		b.onFastFail(key)
+	}
+}
+
+// States snapshots every known point's current state — the scrape-time
+// source for per-point breaker gauges. Nil-safe.
+func (b *BreakerSet) States() map[string]BreakerState {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.points))
+	for key, p := range b.points {
+		out[key] = p.state
+	}
+	return out
 }
 
 // State returns key's current state (Closed for unknown keys).

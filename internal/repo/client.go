@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client fetches publication-point contents over the rsynclite protocol.
@@ -51,6 +53,12 @@ type Client struct {
 	// retries counts request attempts that were retried after a transport
 	// failure (exact; exposed via Stats).
 	retries atomic.Int64
+	// fetchedBytes counts object content bytes received (exposed at scrape
+	// time by Instrument).
+	fetchedBytes atomic.Int64
+	// rec receives retry events when the client is instrumented (nil
+	// otherwise). Set once by Instrument before the client serves requests.
+	rec *obs.FlightRecorder
 }
 
 // DegradationStats counts the resilience events a Client has observed since
@@ -227,6 +235,7 @@ func (pc *pointConn) request(ctx context.Context, op func() error) error {
 			return lastErr
 		}
 		pc.c.retries.Add(1)
+		pc.c.recordRetry(pc.key(), lastErr)
 		if werr := pc.c.retryPolicy().wait(ctx, attempt); werr != nil {
 			return lastErr
 		}
@@ -340,6 +349,7 @@ func (c *Client) Get(ctx context.Context, uri URI, name string) ([]byte, error) 
 		b, err := getOnce(pc.conn, pc.r, uri.Module, name)
 		if err == nil {
 			content = b
+			c.countBytes(len(b))
 		}
 		return err
 	})
@@ -453,6 +463,7 @@ func (c *Client) fetchShard(ctx context.Context, uri URI, ordered []string, s, s
 			content, err := getOnce(pc.conn, pc.r, uri.Module, name)
 			if err == nil {
 				res.files[name] = content
+				c.countBytes(len(content))
 			}
 			return err
 		})
@@ -570,6 +581,7 @@ func (c *Client) SyncIncremental(ctx context.Context, uri URI, prev map[string][
 			b, err := getOnce(pc.conn, pc.r, uri.Module, name)
 			if err == nil {
 				content, gotIt = b, true
+				c.countBytes(len(b))
 			}
 			return err
 		})

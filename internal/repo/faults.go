@@ -66,14 +66,14 @@ type Faults struct {
 // NewFaults returns a fault plan injecting nothing.
 func NewFaults() *Faults {
 	return &Faults{
-		drop:     make(map[string]bool),
-		corrupt:  make(map[string]bool),
+		drop:      make(map[string]bool),
+		corrupt:   make(map[string]bool),
 		objDelay:  make(map[string]time.Duration),
 		truncate:  make(map[string]bool),
 		truncStat: make(map[string]bool),
 		failN:     make(map[string]int),
-		failM:    make(map[string]int),
-		reqCount: make(map[string]int),
+		failM:     make(map[string]int),
+		reqCount:  make(map[string]int),
 	}
 }
 

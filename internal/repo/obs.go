@@ -1,0 +1,78 @@
+package repo
+
+// Observability wiring for the repository client: scrape-time metrics over
+// the counters the client already keeps (no new hot-path work), per-point
+// breaker state gauges collected on scrape, and flight-recorder events for
+// retries, breaker transitions and fast-fails.
+
+import (
+	"repro/internal/obs"
+)
+
+// breakerEventKinds maps every breaker state to the flight-recorder event
+// recorded when a breaker enters it — the rpki-lint metricscoverage rule
+// keeps this table exhaustive, so adding a state without an event kind is
+// a build-time lint failure, not a silent observability gap.
+var breakerEventKinds = map[BreakerState]obs.EventKind{
+	BreakerClosed:   obs.EventBreakerClosed,
+	BreakerOpen:     obs.EventBreakerOpen,
+	BreakerHalfOpen: obs.EventBreakerHalfOpen,
+}
+
+// Instrument attaches the observability plane to the client: retry,
+// breaker-trip, fast-fail and bytes-fetched series are read from the
+// client's existing atomic counters at scrape time (zero added cost per
+// request), per-point breaker states are collected on scrape, and every
+// retry and breaker transition drops an event into the flight recorder.
+// Call once, before the client serves requests; a nil hub is a no-op.
+func (c *Client) Instrument(hub *obs.Hub) {
+	r := hub.Registry()
+	if c == nil || r == nil {
+		return
+	}
+	c.rec = hub.Recorder()
+	r.CounterFunc("rpki_repo_retries_total",
+		"Repository requests retried after a transport failure.",
+		func() float64 { return float64(c.retries.Load()) })
+	r.CounterFunc("rpki_repo_fetched_bytes_total",
+		"Object bytes fetched from repositories.",
+		func() float64 { return float64(c.fetchedBytes.Load()) })
+	r.CounterFunc("rpki_repo_breaker_trips_total",
+		"Circuit-breaker transitions to open.",
+		func() float64 { return float64(c.Breakers.Trips()) })
+	r.CounterFunc("rpki_repo_breaker_fast_fails_total",
+		"Requests refused while a publication point's breaker was open.",
+		func() float64 { return float64(c.Breakers.FastFails()) })
+	r.CollectGauges("rpki_repo_breaker_state",
+		"Circuit-breaker state per publication point (0 closed, 1 open, 2 half-open).",
+		[]string{"point"}, func(emit obs.Emit) {
+			for key, state := range c.Breakers.States() {
+				emit(float64(state), key)
+			}
+		})
+	rec := c.rec
+	c.Breakers.Observe(
+		func(key string, from, to BreakerState) {
+			rec.Recordf(breakerEventKinds[to], key, "breaker %s -> %s", from, to)
+		},
+		func(key string) {
+			rec.Record(obs.EventBreakerFastFail, key, "request refused while breaker open")
+		})
+}
+
+// countBytes accounts object content fetched from the network. One atomic
+// add; nil-safe via the zero value of the counter.
+func (c *Client) countBytes(n int) {
+	if c != nil {
+		c.fetchedBytes.Add(int64(n))
+	}
+}
+
+// recordRetry drops one retry event into the flight recorder (no-op when
+// the client is uninstrumented).
+func (c *Client) recordRetry(key string, err error) {
+	if c == nil || c.rec == nil {
+		return
+	}
+	c.rec.Recordf(obs.EventRetry, key, "retrying after: %v", err)
+}

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/ipres"
+	"repro/internal/obs"
 	"repro/internal/repo"
 	"repro/internal/rov"
 )
@@ -219,6 +220,10 @@ type moduleBuild struct {
 	// holdsSlot marks that the walk acquired an in-flight-module slot
 	// (streaming mode) which commitModule must release.
 	holdsSlot bool
+	// span is the module's walk trace span and verifySpan its verify child
+	// (nil when tracing is off); the committer ends both. Written by the
+	// walk goroutine before the committer is spawned.
+	span, verifySpan *obs.Span
 
 	wg sync.WaitGroup
 

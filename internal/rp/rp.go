@@ -36,6 +36,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/ipres"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/repo"
 	"repro/internal/rov"
 )
@@ -231,6 +232,12 @@ type Config struct {
 	// baseline benchmarking and for callers that want the per-object verify
 	// cache's behavior in isolation.
 	DisableModuleReuse bool
+	// Obs attaches the observability plane (see internal/obs): metric
+	// handles are registered once at construction, every diagnostic and
+	// fallback drops an event into the flight recorder, and each Sync
+	// produces a trace on the injected clock. Nil disables instrumentation;
+	// the hot path then pays one predictable branch per event.
+	Obs *obs.Hub
 }
 
 func (c Config) workers() int {
@@ -265,6 +272,9 @@ type RelyingParty struct {
 	// memo holds module-level validation outcomes across Sync calls (nil
 	// when DisableModuleReuse is set).
 	memo *moduleMemo
+	// met holds the metric handles registered on Config.Obs (nil when
+	// observability is off; every update is then a nil-receiver no-op).
+	met *rpMetrics
 }
 
 // New creates a relying party over the given trust anchors.
@@ -289,6 +299,7 @@ func New(cfg Config, anchors ...TrustAnchor) *RelyingParty {
 	if !cfg.DisableModuleReuse {
 		rp.memo = newModuleMemo()
 	}
+	rp.met = newRPMetrics(cfg.Obs)
 	return rp
 }
 
@@ -353,6 +364,31 @@ type DegradationReporter interface {
 // "complete set" requirement is unmet.
 func (r *Result) Incomplete() bool { return len(r.Diagnostics) > 0 }
 
+// Health refines Incomplete's single bit into the three outcomes the
+// degradation ladder actually produces: Clean (no diagnostics), Stale
+// (every failure was absorbed by the last-known-good store, so the output
+// is fully servable but some of it is old), and Degraded (at least one
+// diagnostic the ladder could not absorb — the cache may be incomplete).
+// Readiness probes treat Clean and Stale as servable; Incomplete cannot
+// make that distinction because an LKG-served sync also carries
+// diagnostics.
+func (r *Result) Health() obs.HealthState {
+	if len(r.Diagnostics) == 0 {
+		return obs.HealthClean
+	}
+	for _, d := range r.Diagnostics {
+		if d.Kind != DiagStaleFallback && d.Kind != DiagPointUnreachable {
+			return obs.HealthDegraded
+		}
+	}
+	if r.StaleFallbacks > 0 {
+		return obs.HealthStale
+	}
+	// Unreachable points with no successful fallback always add a second
+	// diagnostic kind, but be explicit rather than rely on that.
+	return obs.HealthDegraded
+}
+
 // Index builds a route-validation index from the result's VRPs.
 func (r *Result) Index() *rov.Index { return rov.NewIndex(r.VRPs...) }
 
@@ -369,16 +405,18 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 	}
 	res := &Result{}
 	now := rp.now()
+	trace := rp.cfg.Obs.Tracer().StartTrace("sync")
 	var statsBefore repo.DegradationStats
 	reporter, _ := rp.cfg.Fetcher.(DegradationReporter)
 	if reporter != nil {
 		statsBefore = reporter.Stats()
 	}
 	st := &syncState{
-		rp:  rp,
-		ctx: ctx,
-		res: res,
-		sem: make(chan struct{}, rp.cfg.workers()),
+		rp:   rp,
+		ctx:  ctx,
+		res:  res,
+		sem:  make(chan struct{}, rp.cfg.workers()),
+		span: trace.Root(),
 	}
 	if rp.cfg.Streaming {
 		st.fetchSem = make(chan struct{}, rp.cfg.maxInflightModules())
@@ -405,6 +443,7 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 	}
 	st.wg.Wait()
 	if err := st.firstErr(); err != nil {
+		trace.Finish()
 		return nil, err
 	}
 	// Commit LKG snapshots for points that validated without a single
@@ -436,6 +475,13 @@ func (rp *RelyingParty) Sync(ctx context.Context) (*Result, error) {
 		res.BreakerTrips = int(after.BreakerTrips - statsBefore.BreakerTrips)
 		res.BreakerFastFails = int(after.BreakerFastFails - statsBefore.BreakerFastFails)
 	}
+	if trace != nil && res.ModulesReused > 0 {
+		trace.Root().SetDetail(fmt.Sprintf("%d modules reused, %d revalidated", res.ModulesReused, res.ModulesRevalidated))
+	}
+	trace.Finish()
+	end := rp.now()
+	rp.met.recordResult(res, end.Sub(now).Seconds())
+	rp.met.lastSyncUnixtime.Set(float64(end.Unix()))
 	return res, nil
 }
 
@@ -482,6 +528,9 @@ type syncState struct {
 	// cannot deadlock.
 	fetchSem chan struct{}
 	wg       sync.WaitGroup
+	// span is the sync's root trace span (nil when tracing is off); each
+	// walk hangs its module span off it. Spans are internally synchronized.
+	span *obs.Span
 
 	mu sync.Mutex
 	// res is the accumulating result. guarded by mu.
@@ -537,12 +586,14 @@ func (st *syncState) run(f func()) {
 func (st *syncState) acquireModule() {
 	if st.fetchSem != nil {
 		st.fetchSem <- struct{}{}
+		st.rp.met.inflightModules.Inc()
 	}
 }
 
 // releaseModule returns an in-flight-module slot (no-op outside streaming).
 func (st *syncState) releaseModule() {
 	if st.fetchSem != nil {
+		st.rp.met.inflightModules.Dec()
 		<-st.fetchSem
 	}
 }
@@ -551,6 +602,7 @@ func (st *syncState) diag(kind DiagKind, module, object string, err error) {
 	st.mu.Lock()
 	st.res.diag(kind, module, object, err)
 	st.mu.Unlock()
+	st.obsDiag(kind, module, object, err)
 }
 
 // walk validates one authority's publication point, fanning its objects out
@@ -576,6 +628,9 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 	// Reuse tier 1: the fetcher can prove the backing store unchanged, so
 	// the fetch itself is skipped. The version is read before any fetch: a
 	// store mutating concurrently costs a re-validation, never a stale reuse.
+	// This path is the entire warm steady state, so it stays span-free —
+	// tier-1 reuses are summarized on the root span and counted by the
+	// rpki_modules_reused_total metric instead of traced one by one.
 	var storeVersion uint64
 	var hasVersion bool
 	if vf, ok := st.rp.cfg.Fetcher.(VersionedFetcher); ok && st.rp.memo != nil {
@@ -589,21 +644,30 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 		}
 	}
 
+	wsp := st.span.Child("walk", uri.Module)
 	st.acquireModule()
+	fsp := wsp.Child("fetch", uri.Module)
 	files, unchanged, err := st.rp.fetch(st.ctx, st, uri)
+	fsp.End()
 	if err != nil && st.ctx.Err() != nil {
 		// Cancellation is an abort, not incompleteness: no diagnostic.
 		st.setErr(st.ctx.Err())
 		st.releaseModule()
+		wsp.SetDetail("aborted")
+		wsp.End()
 		return
 	}
 	mb := &moduleBuild{memoizable: err == nil, version: storeVersion, hasVersion: hasVersion, holdsSlot: st.fetchSem != nil}
+	mb.span = wsp
 	switch {
 	case err != nil && len(files) == 0:
 		if files = st.lkgFallback(uri, err); files == nil {
 			st.releaseModule()
+			wsp.SetDetail("unreachable, no fallback")
+			wsp.End()
 			return
 		}
+		wsp.SetDetail("serving last-known-good")
 	case err != nil:
 		mb.diag(st, DiagFetchFailure, uri.Module, "", fmt.Errorf("partial fetch: %w", err))
 	default:
@@ -617,6 +681,8 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 			(unchanged || sameFiles(files, e.files)) {
 			st.rp.memo.refreshVersion(uri.Module, storeVersion, hasVersion)
 			st.releaseModule()
+			wsp.SetDetail("reused: bytes unchanged")
+			wsp.End()
 			st.reuseModule(e, uri, depth)
 			return
 		}
@@ -681,6 +747,8 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 			e.matches(authority, effective) && e.within(now) && sameDigests(hashes, e.digests) {
 			st.rp.memo.refreshVersion(uri.Module, storeVersion, hasVersion)
 			st.releaseModule()
+			wsp.SetDetail("reused: digests unchanged")
+			wsp.End()
 			st.reuseModule(e, uri, depth)
 			return
 		}
@@ -688,6 +756,15 @@ func (st *syncState) walk(authority *cert.ResourceCert, effective ipres.Set, uri
 	st.mu.Lock()
 	st.res.ModulesRevalidated++
 	st.mu.Unlock()
+	// A memo entry that survives to this point was refused by the reuse
+	// guard: record why (authority swap, epoch expiry, or changed bytes).
+	// Only a clean fetch consults the memo, so degraded sources don't count.
+	if mb.memoizable {
+		if e := st.rp.memo.get(uri.Module); e != nil {
+			st.reuseRejection(e, authority, effective, uri.Module)
+		}
+	}
+	mb.verifySpan = wsp.Child("verify", uri.Module)
 
 	// Locate and validate the manifest named by the authority's SIA.
 	mftName := manifestName(authority, uri)
@@ -829,6 +906,12 @@ func (st *syncState) commitModule(uri repo.URI, authority *cert.ResourceCert, ef
 	if mb.holdsSlot {
 		defer st.releaseModule()
 	}
+	mb.verifySpan.End()
+	csp := mb.span.Child("commit", uri.Module)
+	defer func() {
+		csp.End()
+		mb.span.End()
+	}()
 	mb.mu.Lock()
 	clean := mb.diags == 0
 	mb.mu.Unlock()
@@ -1011,6 +1094,8 @@ func (rp *RelyingParty) fetch(ctx context.Context, st *syncState, uri repo.URI) 
 		st.res.IncrementalFallbacks++
 		st.res.ObjectsDownloaded += len(files)
 		st.mu.Unlock()
+		rp.cfg.Obs.Recorder().Recordf(obs.EventIncrementalFallback, uri.Module,
+			"incremental sync failed (%v); recovered with a full fetch", err)
 		return files, false, nil
 	}
 	rp.snapMu.Lock()

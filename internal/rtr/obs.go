@@ -1,0 +1,107 @@
+package rtr
+
+// Observability wiring for the RTR cache and server: connected-client and
+// queue-depth gauges collected at scrape time (the fan-out hot path is
+// untouched), an update counter, and a delta-propagation latency histogram
+// measuring SetVRPs-to-router-notified per client — the metric a Stalloris
+// victim would watch climb.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// rtrMetrics holds the cache's metric handles (nil when uninstrumented;
+// every update is then a nil-receiver no-op).
+type rtrMetrics struct {
+	updates     *obs.Counter
+	propagation *obs.Histogram
+}
+
+// Instrument registers the cache's metrics on the hub. Call once, before
+// the cache serves connections; a nil hub is a no-op.
+func (c *Cache) Instrument(hub *obs.Hub) {
+	r := hub.Registry()
+	if c == nil || r == nil {
+		return
+	}
+	met := &rtrMetrics{
+		updates: r.Counter("rpki_rtr_updates_total",
+			"Cache updates that changed the VRP set (serial bumps)."),
+		propagation: r.Histogram("rpki_rtr_delta_propagation_seconds",
+			"Latency from a VRP delta entering the cache to a client's serial notify being flushed.",
+			obs.DurationBuckets()),
+	}
+	r.GaugeFunc("rpki_rtr_connected_clients", "RTR connections currently served.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.subs))
+		})
+	r.GaugeFunc("rpki_rtr_serial", "Current cache serial number.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.serial)
+		})
+	r.GaugeFunc("rpki_rtr_vrps", "VRPs currently served by the cache.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.vrps))
+		})
+	r.CollectGauges("rpki_rtr_client_queue_depth",
+		"Pending serial notifies per connected client.",
+		[]string{"client"}, func(emit obs.Emit) {
+			c.mu.Lock()
+			type sub struct {
+				peer  string
+				depth int
+			}
+			subs := make([]sub, 0, len(c.subs))
+			for ch, peer := range c.subs {
+				subs = append(subs, sub{peer, len(ch)})
+			}
+			c.mu.Unlock()
+			for _, s := range subs {
+				emit(float64(s.depth), s.peer)
+			}
+		})
+	c.mu.Lock()
+	c.met = met
+	c.mu.Unlock()
+}
+
+// metrics returns the handle struct under the lock discipline SetVRPs and
+// handle already follow (nil when uninstrumented).
+func (c *Cache) metrics() *rtrMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.met
+}
+
+// deltaCreatedAt returns when the delta with the given serial entered the
+// cache (ok=false if it aged out of the history window).
+func (c *Cache) deltaCreatedAt(serial uint32) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.history {
+		if c.history[i].serial == serial {
+			return c.history[i].createdAt, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// observePropagation records one client's notify latency for the delta
+// with the given serial (no-op when uninstrumented or aged out).
+func (c *Cache) observePropagation(serial uint32) {
+	met := c.metrics()
+	if met == nil {
+		return
+	}
+	if at, ok := c.deltaCreatedAt(serial); ok {
+		met.propagation.Observe(time.Since(at).Seconds())
+	}
+}

@@ -283,7 +283,7 @@ func TestServerRejectsUnsupportedPDU(t *testing.T) {
 
 func TestCacheSubscribeNotify(t *testing.T) {
 	cache := NewCache(1)
-	ch := cache.subscribe()
+	ch := cache.subscribe("test")
 	defer cache.unsubscribe(ch)
 	cache.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, 1)})
 	select {

@@ -21,6 +21,9 @@ type delta struct {
 	// frame is the delta's prefix PDUs (announces then withdraws),
 	// serialized once at SetVRPs time. Immutable after creation.
 	frame []byte
+	// createdAt stamps when the delta entered the cache, anchoring the
+	// delta-propagation latency histogram. Immutable after creation.
+	createdAt time.Time
 }
 
 func (d *delta) vrpCount() int { return len(d.announced) + len(d.withdrawn) }
@@ -54,8 +57,12 @@ type Cache struct {
 	maxHist      int
 	maxHistVRPs  int
 	maxHistBytes int
-	// subs holds the notify channel of every live connection. guarded by mu.
-	subs map[chan uint32]bool
+	// subs maps the notify channel of every live connection to its peer
+	// address (for per-client metrics). guarded by mu.
+	subs map[chan uint32]string
+	// met holds metric handles registered by Instrument (nil when
+	// uninstrumented). guarded by mu.
+	met *rtrMetrics
 }
 
 // Default history bounds: plenty for steady-state polling, small enough
@@ -73,7 +80,7 @@ func NewCache(session uint16) *Cache {
 		maxHist:      defaultMaxHist,
 		maxHistVRPs:  defaultMaxHistVRPs,
 		maxHistBytes: defaultMaxHistBytes,
-		subs:         make(map[chan uint32]bool),
+		subs:         make(map[chan uint32]string),
 	}
 }
 
@@ -165,7 +172,10 @@ func (c *Cache) SetVRPs(vrps []rov.VRP) {
 		return
 	}
 	c.serial++
-	d := delta{serial: c.serial, announced: announced, withdrawn: withdrawn}
+	d := delta{serial: c.serial, announced: announced, withdrawn: withdrawn, createdAt: time.Now()}
+	if c.met != nil {
+		c.met.updates.Inc()
+	}
 	frame := make([]byte, 0, 20*d.vrpCount())
 	frame = encodeVRPs(frame, announced, FlagAnnounce)
 	frame = encodeVRPs(frame, withdrawn, 0)
@@ -258,10 +268,10 @@ func (c *Cache) deltasSince(serial uint32) (announced, withdrawn []rov.VRP, curr
 	return announced, withdrawn, c.serial, true
 }
 
-func (c *Cache) subscribe() chan uint32 {
+func (c *Cache) subscribe(peer string) chan uint32 {
 	ch := make(chan uint32, 4)
 	c.mu.Lock()
-	c.subs[ch] = true
+	c.subs[ch] = peer
 	c.mu.Unlock()
 	return ch
 }
@@ -335,7 +345,7 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	notify := s.cache.subscribe()
+	notify := s.cache.subscribe(conn.RemoteAddr().String())
 	defer s.cache.unsubscribe(notify)
 
 	// Reader goroutine feeds queries; this goroutine multiplexes queries
@@ -372,6 +382,9 @@ func (s *Server) handle(conn net.Conn) {
 			if w.Flush() != nil {
 				return
 			}
+			// The notify reached the client's socket: one propagation
+			// latency sample for this delta.
+			s.cache.observePropagation(serial)
 		case q := <-queries:
 			if conn.SetWriteDeadline(time.Now().Add(writeTimeout)) != nil {
 				return
