@@ -1,0 +1,100 @@
+// Command rpki-attack runs the adversarial campaign suite against the
+// relying party: Stalloris delay games, resource-exhaustion blowups, and
+// decoder mutation sweeps, each asserting the relying party terminates in a
+// defined state (clean, degraded, or stale) — never a hang, a panic, or
+// unbounded growth.
+//
+// Usage:
+//
+//	rpki-attack -list             # print the scenario taxonomy
+//	rpki-attack                   # run every scenario
+//	rpki-attack -run stalloris/   # run a subset by name prefix/regexp
+//	rpki-attack -json             # machine-readable verdicts (CI gate)
+//
+// The exit status is 0 only if every selected scenario passes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list scenarios and exit")
+	runPat := flag.String("run", "", "run only scenarios matching this regexp")
+	jsonOut := flag.Bool("json", false, "emit one JSON verdict per line")
+	flag.Parse()
+
+	scenarios := attack.Scenarios()
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpki-attack: bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+		var kept []attack.Scenario
+		for _, s := range scenarios {
+			if re.MatchString(s.Name) {
+				kept = append(kept, s)
+			}
+		}
+		scenarios = kept
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintln(os.Stderr, "rpki-attack: no scenarios selected")
+		os.Exit(2)
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SCENARIO\tLAYER\tSOURCE")
+		for _, s := range scenarios {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", s.Name, s.Layer, s.Paper)
+		}
+		tw.Flush()
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, s := range scenarios {
+		v := attack.Run(context.Background(), s)
+		if v.Outcome != attack.OutcomePass {
+			failed++
+		}
+		if *jsonOut {
+			if err := enc.Encode(v); err != nil {
+				fmt.Fprintf(os.Stderr, "rpki-attack: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		status := strings.ToUpper(string(v.Outcome))
+		fmt.Printf("%-4s %-28s terminal=%s wall=%dms\n", status, v.Name, orDash(v.Health), v.WallMS)
+		for _, f := range v.Failures {
+			fmt.Printf("       %s\n", f)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rpki-attack: %d of %d scenarios failed\n", failed, len(scenarios))
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Printf("all %d scenarios passed\n", len(scenarios))
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -62,13 +62,16 @@ func main() {
 	maxRetries := flag.Int("max-retries", 3, "transport-failure retries per request (0: fail on first fault)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (one LIST/GET/STAT exchange)")
 	staleTTL := flag.Duration("stale-ttl", time.Hour, "serve an unreachable point's last-known-good snapshot up to this age (0: disabled)")
-	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a point's circuit breaker (0: no breaker)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a point's circuit breaker (must be >= 1)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker refuses requests before probing")
 	noModuleReuse := flag.Bool("no-module-reuse", false, "re-validate every publication point on every poll, even provably unchanged ones")
 	opsListen := flag.String("ops-listen", "", "serve /metrics, /healthz, /readyz, /debug/* on this address (empty: disabled)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
 	flag.Parse()
+	if err := validateFlags(*maxRetries, *requestTimeout, *breakerThreshold, *breakerCooldown); err != nil {
+		fatal(err)
+	}
 	if *poll != 0 {
 		*interval = *poll
 	}
@@ -212,6 +215,27 @@ func main() {
 			return
 		}
 	}
+}
+
+// validateFlags rejects nonsensical resilience tunings at startup, before
+// any TAL or network work. A negative retry count, a non-positive request
+// deadline, or a breaker threshold below one would each silently disable a
+// rung of the degradation ladder — the operator asked for protection the
+// daemon could not deliver.
+func validateFlags(maxRetries int, requestTimeout time.Duration, breakerThreshold int, breakerCooldown time.Duration) error {
+	if maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0, got %d", maxRetries)
+	}
+	if requestTimeout <= 0 {
+		return fmt.Errorf("-request-timeout must be positive, got %v", requestTimeout)
+	}
+	if breakerThreshold < 1 {
+		return fmt.Errorf("-breaker-threshold must be >= 1, got %d", breakerThreshold)
+	}
+	if breakerCooldown <= 0 {
+		return fmt.Errorf("-breaker-cooldown must be positive, got %v", breakerCooldown)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -156,6 +156,39 @@ func TestCmdWhackDryRun(t *testing.T) {
 	}
 }
 
+// TestCmdRPFlagValidation: nonsensical resilience tunings must be rejected
+// at startup with a clear error, before the daemon touches the TAL or the
+// network — a negative retry count or a zero deadline would silently
+// disable a rung of the degradation ladder.
+func TestCmdRPFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative-retries", []string{"-max-retries", "-1"}, "-max-retries must be >= 0"},
+		{"zero-timeout", []string{"-request-timeout", "0s"}, "-request-timeout must be positive"},
+		{"negative-timeout", []string{"-request-timeout", "-3s"}, "-request-timeout must be positive"},
+		{"zero-breaker-threshold", []string{"-breaker-threshold", "0"}, "-breaker-threshold must be >= 1"},
+		{"negative-breaker-threshold", []string{"-breaker-threshold", "-2"}, "-breaker-threshold must be >= 1"},
+		{"zero-breaker-cooldown", []string{"-breaker-cooldown", "0s"}, "-breaker-cooldown must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// -tal points at a nonexistent file: validation must fire first,
+			// so the error is about the flag, not the missing TAL.
+			args := append([]string{"-tal", filepath.Join(t.TempDir(), "absent.tal")}, tc.args...)
+			out, err := runCmd(t, 30*time.Second, "rpki-rp", args...)
+			if err == nil {
+				t.Fatalf("bad flags accepted; output:\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("error should mention %q, got:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
 // startPubd boots rpki-pubd on loopback, waits for its TAL and serving
 // line, and returns the server address and TAL path. The process is killed
 // on test cleanup.

@@ -29,6 +29,7 @@ func Rules() []*Rule {
 		diagExhaustiveRule,
 		metricsCoverageRule,
 		poolHygieneRule,
+		boundedDecodeRule,
 	}
 }
 

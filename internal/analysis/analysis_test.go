@@ -91,6 +91,15 @@ func TestWallclock(t *testing.T) {
 	})
 }
 
+func TestBoundedDecode(t *testing.T) {
+	rep := fixtureReport(t, "internal/roa")
+	checkGolden(t, findingStrings(rep), []string{
+		"internal/roa/roa.go:31: [boundeddecode] decoder UnmarshalNaked consumes attacker-sized parameter der with no len(der) comparison against a Max* limit: unbounded input is a resource-exhaustion primitive",
+		"internal/roa/roa.go:36: [boundeddecode] decoder ParseLate consumes parameter der before its length limit check: the guard must dominate every use",
+		"internal/roa/roa.go:58: [boundeddecode] decoder ParseWrongBound consumes attacker-sized parameter der with no len(der) comparison against a Max* limit: unbounded input is a resource-exhaustion primitive",
+	})
+}
+
 func TestDiagExhaustive(t *testing.T) {
 	rep := fixtureReport(t, "diag")
 	checkGolden(t, findingStrings(rep), []string{

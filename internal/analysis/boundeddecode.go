@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// boundeddecode: exported decoder entry points in the object-parsing
+// packages (cms, manifest, roa, rfc3779) take attacker-controlled bytes —
+// every publication point serves whatever its authority wrote. Each such
+// function must enforce a hard length limit on its input before doing any
+// work proportional to it; a decoder that allocates or walks first is a
+// resource-exhaustion primitive (the CURE fuzzing campaign's bug class).
+// The rule flags exported Parse*/Decode*/Unmarshal* functions with a []byte
+// parameter whose body either never compares len(param) against a Max*
+// limit, or consumes the parameter before the comparison.
+var boundedDecodeRule = &Rule{
+	Name: "boundeddecode",
+	Doc:  "exported decoder accepts attacker-sized []byte without enforcing a Max* length limit before consuming it",
+	Run:  runBoundedDecode,
+}
+
+// boundedDecodePackages are the decoder packages, matched by import path
+// suffix so the fixture packages in testdata exercise the rule too.
+var boundedDecodePackages = []string{
+	"internal/cms",
+	"internal/manifest",
+	"internal/roa",
+	"internal/rfc3779",
+}
+
+func decoderPackage(path string) bool {
+	for _, suffix := range boundedDecodePackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// decoderEntryPoint reports whether the function name marks an exported
+// decode entry point.
+func decoderEntryPoint(name string) bool {
+	for _, prefix := range []string{"Parse", "Decode", "Unmarshal"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedDecode(pass *Pass) {
+	if !decoderPackage(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !decoderEntryPoint(fd.Name.Name) {
+				continue
+			}
+			for _, param := range byteSliceParams(info, fd) {
+				checkBoundedParam(pass, fd, param)
+			}
+		}
+	}
+}
+
+// byteSliceParams returns the declared []byte parameters of fd.
+func byteSliceParams(info *types.Info, fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		slice, ok := t.(*types.Slice)
+		if !ok {
+			continue
+		}
+		basic, ok := slice.Elem().Underlying().(*types.Basic)
+		if !ok || basic.Kind() != types.Byte {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// checkBoundedParam verifies that param's first consuming use inside fd is
+// dominated (positionally) by a len(param) comparison against a Max* limit.
+func checkBoundedParam(pass *Pass, fd *ast.FuncDecl, param *ast.Ident) {
+	info := pass.Pkg.Info
+	obj := info.Defs[param]
+	if obj == nil {
+		return
+	}
+	var guardPos, usePos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok && isLimitGuard(info, bin, obj) {
+			if guardPos == token.NoPos || bin.Pos() < guardPos {
+				guardPos = bin.Pos()
+			}
+			return false // len(param) inside the guard is not a consuming use
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			if !insideLenCall(fd, id, info, obj) {
+				if usePos == token.NoPos || id.Pos() < usePos {
+					usePos = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case guardPos == token.NoPos:
+		pass.Reportf(fd.Name.Pos(),
+			"decoder %s consumes attacker-sized parameter %s with no len(%s) comparison against a Max* limit: unbounded input is a resource-exhaustion primitive",
+			fd.Name.Name, param.Name, param.Name)
+	case usePos != token.NoPos && usePos < guardPos:
+		pass.Reportf(fd.Name.Pos(),
+			"decoder %s consumes parameter %s before its length limit check: the guard must dominate every use",
+			fd.Name.Name, param.Name)
+	}
+}
+
+// isLimitGuard reports whether bin compares len(param) against an
+// identifier whose name carries a Max* limit (direct or via selector, in
+// either operand order).
+func isLimitGuard(info *types.Info, bin *ast.BinaryExpr, param types.Object) bool {
+	switch bin.Op {
+	case token.GTR, token.GEQ, token.LSS, token.LEQ:
+	default:
+		return false
+	}
+	return (isLenOf(info, bin.X, param) && mentionsMax(bin.Y)) ||
+		(isLenOf(info, bin.Y, param) && mentionsMax(bin.X))
+}
+
+// isLenOf reports whether expr is the builtin call len(param).
+func isLenOf(info *types.Info, expr ast.Expr, param types.Object) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "len" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[arg] == param
+}
+
+// mentionsMax reports whether expr references an identifier whose name
+// starts with "Max" or "max" — the naming convention for hard input limits.
+func mentionsMax(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			if strings.HasPrefix(lower, "max") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// insideLenCall reports whether the identifier use at id sits inside a
+// len(param) call — measuring the input is always safe; only walking or
+// allocating from it needs the guard first.
+func insideLenCall(fd *ast.FuncDecl, id *ast.Ident, info *types.Info, param types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isLenOf(info, call, param) {
+			return true
+		}
+		if call.Pos() <= id.Pos() && id.Pos() <= call.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+// Fixture for the boundeddecode rule. The directory's import path ends in
+// internal/roa, so it counts as a decoder package: exported
+// Parse*/Decode*/Unmarshal* functions taking attacker-sized []byte must
+// compare len(input) against a Max* limit before consuming the input.
+package roa
+
+import "fmt"
+
+// MaxInput is the hard input limit the well-behaved decoders enforce.
+const MaxInput = 1 << 20
+
+type limits struct{ MaxBody int }
+
+// ParseBounded guards before consuming: legal.
+func ParseBounded(der []byte) error {
+	if len(der) > MaxInput {
+		return fmt.Errorf("too big")
+	}
+	return walk(der)
+}
+
+// DecodeSelectorLimit guards against a selector-carried limit: legal.
+func DecodeSelectorLimit(der []byte, l limits) error {
+	if len(der) >= l.MaxBody {
+		return fmt.Errorf("too big")
+	}
+	return walk(der)
+}
+
+// UnmarshalNaked never checks a limit. // want: no limit
+func UnmarshalNaked(der []byte) error {
+	return walk(der)
+}
+
+// ParseLate consumes the input before the guard. // want: guard after use
+func ParseLate(der []byte) error {
+	if err := walk(der); err != nil {
+		return err
+	}
+	if len(der) > MaxInput {
+		return fmt.Errorf("too big")
+	}
+	return nil
+}
+
+// ParseLenOnly measures the input before the guard — measuring is free, so
+// this stays legal.
+func ParseLenOnly(der []byte) error {
+	n := len(der)
+	if len(der) > MaxInput {
+		return fmt.Errorf("too big")
+	}
+	_ = n
+	return walk(der)
+}
+
+// ParseWrongBound compares against a non-limit identifier. // want: no limit
+func ParseWrongBound(der []byte, hint int) error {
+	if len(der) > hint {
+		return fmt.Errorf("too big")
+	}
+	return walk(der)
+}
+
+// parseInternal is unexported: callers guard for it.
+func parseInternal(der []byte) error { return walk(der) }
+
+// Marshal does not match the decode prefixes: producing bytes is not the
+// attack surface.
+func Marshal(v int) []byte { return make([]byte, v) }
+
+func walk(der []byte) error {
+	var sum byte
+	for _, b := range der {
+		sum ^= b
+	}
+	_ = sum
+	return nil
+}

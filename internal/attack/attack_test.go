@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCampaign runs every registered attack scenario — the full adversarial
+// suite as a tier-1 test. Each scenario runs as a subtest so one failing
+// attack does not mask the rest.
+func TestCampaign(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			v := Run(context.Background(), s)
+			for _, note := range v.Notes {
+				t.Log(note)
+			}
+			if v.Outcome != OutcomePass {
+				t.Errorf("%s: outcome = %s, failures: %v", s.Name, v.Outcome, v.Failures)
+			}
+			if v.Health == "" && v.Outcome == OutcomePass {
+				t.Error("passing scenario must record a terminal health state")
+			}
+		})
+	}
+}
+
+// TestScenarioMetadata: every scenario names its source and defense layer —
+// the registry doubles as the attack taxonomy, so the documentation fields
+// are load-bearing.
+func TestScenarioMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range Scenarios() {
+		if s.Name == "" || !strings.Contains(s.Name, "/") {
+			t.Errorf("scenario %q: name must be campaign-qualified", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Paper == "" || s.Layer == "" || s.Doc == "" {
+			t.Errorf("%s: Paper, Layer and Doc are required", s.Name)
+		}
+		if s.Run == nil {
+			t.Errorf("%s: no Run function", s.Name)
+		}
+	}
+	if len(seen) < 15 {
+		t.Errorf("campaign has %d scenarios, want at least 15", len(seen))
+	}
+}
+
+// TestRunnerHangDetection: a scenario that never returns is reported as a
+// hang within its budget — the watchdog itself must not hang.
+func TestRunnerHangDetection(t *testing.T) {
+	v := Run(context.Background(), Scenario{
+		Name:   "meta/hang",
+		Budget: 200 * time.Millisecond,
+		Run: func(e *Env) {
+			<-e.Ctx.Done() // watchdog cancels at budget...
+			select {}      // ...but the scenario stays wedged
+		},
+	})
+	if v.Outcome != OutcomeHang {
+		t.Fatalf("outcome = %s, want hang", v.Outcome)
+	}
+}
+
+// TestRunnerPanicRecovery: a panicking scenario yields a panic verdict with
+// the message preserved, and the runner survives to run the next scenario.
+func TestRunnerPanicRecovery(t *testing.T) {
+	v := Run(context.Background(), Scenario{
+		Name:   "meta/panic",
+		Budget: time.Second,
+		Run:    func(e *Env) { panic("decoder exploded") },
+	})
+	if v.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %s, want panic", v.Outcome)
+	}
+	found := false
+	for _, f := range v.Failures {
+		if strings.Contains(f, "decoder exploded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panic message lost: %v", v.Failures)
+	}
+}
+
+// TestRunnerRequiresTerminalState: a scenario that asserts nothing fails —
+// "it didn't crash" is not a verdict.
+func TestRunnerRequiresTerminalState(t *testing.T) {
+	v := Run(context.Background(), Scenario{
+		Name:   "meta/no-assert",
+		Budget: time.Second,
+		Run:    func(e *Env) {},
+	})
+	if v.Outcome != OutcomeFail {
+		t.Fatalf("outcome = %s, want fail for a scenario with no terminal assertion", v.Outcome)
+	}
+}
+
+// TestRunnerClockBudget: advancing the injected clock past the budget fails
+// the scenario even if its assertions held.
+func TestRunnerClockBudget(t *testing.T) {
+	v := Run(context.Background(), Scenario{
+		Name:        "meta/clock-budget",
+		Budget:      time.Second,
+		ClockBudget: time.Minute,
+		Run: func(e *Env) {
+			e.Clock.Advance(2 * time.Minute)
+			// Cheat a terminal state so only the clock budget can fail it.
+			e.mu.Lock()
+			e.health, e.healthSet = "clean", true
+			e.mu.Unlock()
+		},
+	})
+	if v.Outcome != OutcomeFail {
+		t.Fatalf("outcome = %s, want fail on blown clock budget", v.Outcome)
+	}
+}

@@ -40,6 +40,20 @@ var (
 	oidECDSAWithSHA256   = asn1.ObjectIdentifier{1, 2, 840, 10045, 4, 3, 2}
 )
 
+// Hard input limits. Decoders reject oversized input before handing it to
+// encoding/asn1, whose allocations are proportional to the declared input —
+// CURE-style resource-exhaustion inputs must fail fast, not allocate.
+const (
+	// MaxObjectSize bounds a whole signed object, aligned with the
+	// transport-level repo.MaxObjectSize so nothing the fetcher admits is
+	// rejected here for size alone.
+	MaxObjectSize = 8 << 20
+	// MaxSignedAttrs bounds the SET OF Attribute: the RPKI profile needs
+	// exactly two (content-type, message-digest); a generous margin covers
+	// benign extras like signing-time without admitting attribute floods.
+	MaxSignedAttrs = 32
+)
+
 // SignedObject is a parsed and signature-verified CMS envelope.
 type SignedObject struct {
 	// Raw is the full DER encoding of the ContentInfo.
@@ -179,6 +193,9 @@ func Sign(contentType asn1.ObjectIdentifier, content []byte, ee *cert.ResourceCe
 // embedded EE certificate. It does NOT validate the EE certificate's chain;
 // that is the relying party's job.
 func Parse(der []byte) (*SignedObject, error) {
+	if len(der) > MaxObjectSize {
+		return nil, fmt.Errorf("cms: object %d bytes exceeds limit %d", len(der), MaxObjectSize)
+	}
 	var ci contentInfoSeq
 	rest, err := asn1.Unmarshal(der, &ci)
 	if err != nil {
@@ -312,7 +329,12 @@ func parseSignedAttrs(setContent []byte) (contentType asn1.ObjectIdentifier, dig
 	}
 	rest := setContent
 	var sawCT, sawMD bool
+	count := 0
 	for len(rest) > 0 {
+		count++
+		if count > MaxSignedAttrs {
+			return nil, nil, fmt.Errorf("cms: more than %d signed attributes", MaxSignedAttrs)
+		}
 		var a attribute
 		rest, err = asn1.Unmarshal(rest, &a)
 		if err != nil {

@@ -10,7 +10,7 @@ import (
 
 var testEpoch = time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
 
-func newEE(t *testing.T) (*cert.ResourceCert, *cert.KeyPair) {
+func newEE(t testing.TB) (*cert.ResourceCert, *cert.KeyPair) {
 	t.Helper()
 	taKey := cert.MustGenerateKeyPair()
 	ta, err := cert.Issue(cert.Template{

@@ -1,0 +1,37 @@
+package cms
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseCMS drives Parse with arbitrary bytes. The CURE paper found
+// crash/hang bugs in exactly this layer of production relying parties; the
+// property here is the minimal one — Parse must return (obj, nil) or
+// (nil, err), never panic, and an accepted object must carry a sane payload.
+func FuzzParseCMS(f *testing.F) {
+	ee, eeKey := newEE(f)
+	valid, err := Sign(OIDContentTypeROA, []byte("fuzz seed payload"), ee, eeKey)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x2A})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if obj == nil {
+			t.Fatal("nil object with nil error")
+		}
+		if !bytes.Equal(obj.Raw, data) {
+			t.Fatal("Raw does not round-trip input")
+		}
+		if obj.EE == nil {
+			t.Fatal("accepted object without EE certificate")
+		}
+	})
+}

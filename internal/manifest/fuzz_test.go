@@ -1,0 +1,33 @@
+package manifest
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseManifest drives both decode layers — the raw eContent decoder and
+// the full CMS-wrapped path — with arbitrary bytes. Neither may panic or
+// accept an entry list over MaxFileList.
+func FuzzParseManifest(f *testing.F) {
+	epoch := time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
+	m := New(7, epoch, epoch.Add(24*time.Hour), map[string][]byte{
+		"a.roa":  []byte("roa bytes"),
+		"ca.cer": []byte("cert bytes"),
+	})
+	seed, err := m.MarshalContent()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{0x30, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := UnmarshalContent(data); err == nil {
+			if len(m.Entries) > MaxFileList {
+				t.Fatalf("accepted %d entries over limit", len(m.Entries))
+			}
+		}
+		_, _ = ParseSigned(data)
+	})
+}

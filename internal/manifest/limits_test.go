@@ -1,0 +1,37 @@
+package manifest
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cms"
+)
+
+func TestUnmarshalContentRejectsOversized(t *testing.T) {
+	_, err := UnmarshalContent(make([]byte, cms.MaxObjectSize+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized eContent: err = %v", err)
+	}
+	if _, err := ParseSigned(make([]byte, cms.MaxObjectSize+1)); err == nil {
+		t.Fatal("oversized signed object accepted")
+	}
+}
+
+func TestUnmarshalContentRejectsGiantFileList(t *testing.T) {
+	epoch := time.Date(2013, 11, 21, 0, 0, 0, 0, time.UTC)
+	m := &Manifest{Number: big.NewInt(1), ThisUpdate: epoch, NextUpdate: epoch.Add(time.Hour)}
+	m.Entries = make([]Entry, MaxFileList+1)
+	for i := range m.Entries {
+		m.Entries[i].Name = fmt.Sprintf("o%06d.roa", i)
+	}
+	der, err := m.MarshalContent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalContent(der); err == nil || !strings.Contains(err.Error(), "fileList entries exceeds") {
+		t.Fatalf("giant fileList: err = %v", err)
+	}
+}

@@ -24,6 +24,13 @@ import (
 	"repro/internal/cms"
 )
 
+// MaxFileList bounds the number of fileList entries a decoded manifest may
+// carry. The largest synthetic worlds publish a few hundred objects per
+// publication point; 100k leaves real-world headroom while stopping a
+// malicious authority from forcing entry-proportional allocation from a
+// small declared encoding.
+const MaxFileList = 100_000
+
 // Entry is one manifest file entry.
 type Entry struct {
 	// Name is the file name within the publication point (no path).
@@ -140,6 +147,9 @@ func (m *Manifest) MarshalContent() ([]byte, error) {
 
 // UnmarshalContent decodes a manifest eContent.
 func UnmarshalContent(der []byte) (*Manifest, error) {
+	if len(der) > cms.MaxObjectSize {
+		return nil, fmt.Errorf("manifest: eContent %d bytes exceeds limit %d", len(der), cms.MaxObjectSize)
+	}
 	var seq manifestSeq
 	rest, err := asn1.Unmarshal(der, &seq)
 	if err != nil {
@@ -150,6 +160,9 @@ func UnmarshalContent(der []byte) (*Manifest, error) {
 	}
 	if !seq.FileHashAlg.Equal(oidSHA256) {
 		return nil, fmt.Errorf("manifest: unsupported hash algorithm %v", seq.FileHashAlg)
+	}
+	if len(seq.FileList) > MaxFileList {
+		return nil, fmt.Errorf("manifest: %d fileList entries exceeds limit %d", len(seq.FileList), MaxFileList)
 	}
 	m := &Manifest{
 		Number:     seq.ManifestNumber,
@@ -188,6 +201,9 @@ type Signed struct {
 
 // ParseSigned decodes and signature-verifies a CMS-wrapped manifest.
 func ParseSigned(der []byte) (*Signed, error) {
+	if len(der) > cms.MaxObjectSize {
+		return nil, fmt.Errorf("manifest: object %d bytes exceeds limit %d", len(der), cms.MaxObjectSize)
+	}
 	obj, err := cms.Parse(der)
 	if err != nil {
 		return nil, err

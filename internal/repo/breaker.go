@@ -79,6 +79,12 @@ type breaker struct {
 	failures int // consecutive failures while closed
 	openedAt time.Time
 	probing  bool // half-open: a probe is in flight
+	// probation: closed via a half-open probe, not yet confirmed by a second
+	// success. A failure on probation re-opens immediately — a point that
+	// serves probes and stalls everything else must not get a fresh
+	// threshold's worth of workers every cooldown (the Stalloris probe
+	// timing game).
+	probation bool
 }
 
 // BreakerSet holds one circuit breaker per publication point (keyed by URI).
@@ -178,6 +184,7 @@ func (b *BreakerSet) Success(key string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	p := b.point(key)
+	p.probation = p.state == BreakerHalfOpen
 	b.transitionLocked(key, p, BreakerClosed)
 	p.failures = 0
 	p.probing = false
@@ -196,9 +203,11 @@ func (b *BreakerSet) Failure(key string) {
 	switch p.state {
 	case BreakerClosed:
 		p.failures++
-		if p.failures >= b.cfg.threshold() {
+		if p.probation || p.failures >= b.cfg.threshold() {
 			b.transitionLocked(key, p, BreakerOpen)
 			p.openedAt = b.cfg.now()
+			p.failures = 0
+			p.probation = false
 			b.trips.Add(1)
 		}
 	case BreakerHalfOpen:

@@ -57,6 +57,12 @@ type Faults struct {
 	reqCount     map[string]int
 	// slowLoris throttles body writes to one byte per interval.
 	slowLoris time.Duration
+	// bandwidth caps GET body writes to this many bytes per second.
+	bandwidth int
+	// corruptN/corruptM: serve the first corruptN of every corruptM requests
+	// touching a name with flipped bits. corruptCount drives the cycle.
+	corruptN, corruptM map[string]int
+	corruptCount       map[string]int
 	// script, when set, is consulted per request with a 1-based counter —
 	// arbitrary flaky-then-healthy schedules in one closure.
 	script  func(requestN int) FaultAction
@@ -66,14 +72,17 @@ type Faults struct {
 // NewFaults returns a fault plan injecting nothing.
 func NewFaults() *Faults {
 	return &Faults{
-		drop:      make(map[string]bool),
-		corrupt:   make(map[string]bool),
-		objDelay:  make(map[string]time.Duration),
-		truncate:  make(map[string]bool),
-		truncStat: make(map[string]bool),
-		failN:     make(map[string]int),
-		failM:     make(map[string]int),
-		reqCount:  make(map[string]int),
+		drop:         make(map[string]bool),
+		corrupt:      make(map[string]bool),
+		objDelay:     make(map[string]time.Duration),
+		truncate:     make(map[string]bool),
+		truncStat:    make(map[string]bool),
+		failN:        make(map[string]int),
+		failM:        make(map[string]int),
+		reqCount:     make(map[string]int),
+		corruptN:     make(map[string]int),
+		corruptM:     make(map[string]int),
+		corruptCount: make(map[string]int),
 	}
 }
 
@@ -165,6 +174,35 @@ func (f *Faults) SetSlowLoris(d time.Duration) {
 	f.slowLoris = d
 }
 
+// SetBandwidth caps every GET body at bytesPerSec — sustained byte-rate
+// throttling, distinct from SetSlowLoris's per-byte trickle: the transfer
+// makes real progress, just slowly, so it probes deadline budgets rather
+// than first-byte timeouts. 0 disables.
+func (f *Faults) SetBandwidth(bytesPerSec int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bandwidth = bytesPerSec
+}
+
+// CorruptRate makes the first n of every m requests touching name serve
+// corrupted bytes (GET bodies and STAT hashes alike), mirroring FailRate's
+// deterministic cycle — the intermittently flaky disk or proxy whose damage a
+// manifest-checking client must reject every time it appears. name "" is not
+// supported (corruption is per object). n<=0 or m<=0 clears the rate.
+func (f *Faults) CorruptRate(name string, n, m int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || m <= 0 {
+		delete(f.corruptN, name)
+		delete(f.corruptM, name)
+		delete(f.corruptCount, name)
+		return
+	}
+	f.corruptN[name] = n
+	f.corruptM[name] = m
+	f.corruptCount[name] = 0
+}
+
 // SetScript installs a scripted fault schedule: fn is consulted once per
 // request with a 1-based request counter and its action applied before any
 // other fault. nil clears the script. Use it to express flaky-then-healthy
@@ -195,6 +233,10 @@ func (f *Faults) Restore(name string) {
 		f.failM = make(map[string]int)
 		f.reqCount = make(map[string]int)
 		f.slowLoris = 0
+		f.bandwidth = 0
+		f.corruptN = make(map[string]int)
+		f.corruptM = make(map[string]int)
+		f.corruptCount = make(map[string]int)
 		f.script = nil
 		f.scriptN = 0
 		return
@@ -207,6 +249,9 @@ func (f *Faults) Restore(name string) {
 	delete(f.failN, name)
 	delete(f.failM, name)
 	delete(f.reqCount, name)
+	delete(f.corruptN, name)
+	delete(f.corruptM, name)
+	delete(f.corruptCount, name)
 }
 
 func (f *Faults) dropped(name string) bool {
@@ -296,6 +341,32 @@ func (f *Faults) shouldFail(name string) bool {
 	k := f.reqCount[name]
 	f.reqCount[name] = k + 1
 	return k%m < f.failN[name]
+}
+
+func (f *Faults) bandwidthLimit() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bandwidth
+}
+
+// shouldCorrupt advances name's corruption counter and reports whether this
+// request falls in the corrupting part of its CorruptRate cycle.
+func (f *Faults) shouldCorrupt(name string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.corruptM[name]
+	if m <= 0 {
+		return false
+	}
+	k := f.corruptCount[name]
+	f.corruptCount[name] = k + 1
+	return k%m < f.corruptN[name]
 }
 
 // scriptAction advances the script's request counter and returns its verdict

@@ -1,0 +1,133 @@
+package repo
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerProbationReopensImmediately drives the half-open state machine
+// with an injected clock through the Stalloris probe timing game: the point
+// serves the probe, then stalls again. The probe success closes the breaker
+// only on probation — the very next failure re-opens it without a fresh
+// threshold's worth of admitted requests.
+func TestBreakerProbationReopensImmediately(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreakerSet(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Clock:            func() time.Time { return now },
+	})
+	const key = "rsynclite://h:1/p"
+
+	for i := 0; i < 3; i++ {
+		b.Failure(key)
+	}
+	if b.State(key) != BreakerOpen {
+		t.Fatal("threshold failures should open")
+	}
+	now = now.Add(61 * time.Second)
+	if err := b.Allow(key); err != nil {
+		t.Fatalf("probe must be admitted: %v", err)
+	}
+	b.Success(key)
+	if b.State(key) != BreakerClosed {
+		t.Fatal("probe success should close")
+	}
+	// The adversary stalls again: one failure, not threshold failures, must
+	// re-open the breaker.
+	b.Failure(key)
+	if got := b.State(key); got != BreakerOpen {
+		t.Fatalf("failure on probation: state = %v, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Errorf("trips = %d, want 2", b.Trips())
+	}
+	// And the re-opened breaker refuses immediately — no second request.
+	if err := b.Allow(key); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("re-opened breaker must fast-fail, got %v", err)
+	}
+}
+
+// TestBreakerProbationClearedBySecondSuccess: one clean exchange after the
+// probe ends probation, restoring the full failure threshold.
+func TestBreakerProbationClearedBySecondSuccess(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreakerSet(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Clock:            func() time.Time { return now },
+	})
+	const key = "rsynclite://h:1/p"
+	for i := 0; i < 3; i++ {
+		b.Failure(key)
+	}
+	now = now.Add(61 * time.Second)
+	if err := b.Allow(key); err != nil {
+		t.Fatal(err)
+	}
+	b.Success(key) // probe: closed on probation
+	b.Success(key) // confirmed: probation cleared
+	b.Failure(key)
+	b.Failure(key)
+	if got := b.State(key); got != BreakerClosed {
+		t.Fatalf("below threshold after confirmation: state = %v, want closed", got)
+	}
+	b.Failure(key)
+	if got := b.State(key); got != BreakerOpen {
+		t.Fatalf("at threshold: state = %v, want open", got)
+	}
+}
+
+// TestBreakerProbeGameUnderScriptedSchedule runs the same game end-to-end
+// through a real client and a scripted fault plan: trip the breaker, let
+// exactly the probe request succeed, stall everything after it. The breaker
+// must re-open after one post-probe request — the adversary does not get a
+// second in-flight request, let alone a fresh threshold.
+func TestBreakerProbeGameUnderScriptedSchedule(t *testing.T) {
+	uri, _, faults := startTestServer(t, map[string][]byte{
+		"a.cer": []byte("a"), "b.roa": []byte("b"), "c.mft": []byte("c"),
+	})
+	faults.Refuse(true)
+	c := &Client{
+		Timeout:  time.Second,
+		Retry:    fastRetry(10),
+		Breakers: NewBreakerSet(BreakerConfig{FailureThreshold: 2, Cooldown: 50 * time.Millisecond}),
+	}
+	if _, err := c.FetchAll(context.Background(), uri); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("refused point should trip the breaker, got %v", err)
+	}
+
+	// The adversarial phase: serve request 1 (the half-open probe), drop
+	// every request after it.
+	var postProbe atomic.Int64
+	faults.Refuse(false)
+	faults.SetScript(func(requestN int) FaultAction {
+		if requestN == 1 {
+			return ActNone
+		}
+		postProbe.Add(1)
+		return ActDropConn
+	})
+	time.Sleep(60 * time.Millisecond) // cooldown elapses
+
+	if _, err := c.FetchAll(context.Background(), uri); err == nil {
+		t.Fatal("stalled-after-probe fetch must fail")
+	}
+	if got := c.Breakers.State(uri.String()); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	if n := postProbe.Load(); n != 1 {
+		t.Fatalf("server saw %d post-probe requests, want exactly 1", n)
+	}
+	// While open, nothing reaches the network.
+	before := postProbe.Load()
+	if _, err := c.List(context.Background(), uri); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker should fast-fail, got %v", err)
+	}
+	if postProbe.Load() != before {
+		t.Error("fast-fail touched the network")
+	}
+}

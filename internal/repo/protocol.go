@@ -75,16 +75,30 @@ func (u URI) ObjectURI(name string) string {
 	return u.String() + "/" + name
 }
 
-// readLine reads one LF-terminated line, enforcing the length cap.
+// readLine reads one LF-terminated line, enforcing the length cap while
+// reading. The cap must be applied incrementally: ReadString would buffer an
+// entire newline-free stream before a post-hoc length check could reject it,
+// handing a malicious server an unbounded-memory primitive.
 func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if len(buf)+len(chunk) > maxLineLen {
+			return "", fmt.Errorf("repo: protocol line too long (> %d bytes)", maxLineLen)
+		}
+		if err == nil {
+			if buf == nil {
+				return strings.TrimSuffix(string(chunk), "\n"), nil
+			}
+			buf = append(buf, chunk...)
+			return strings.TrimSuffix(string(buf), "\n"), nil
+		}
+		if err == bufio.ErrBufferFull {
+			buf = append(buf, chunk...)
+			continue
+		}
 		return "", err
 	}
-	if len(line) > maxLineLen {
-		return "", fmt.Errorf("repo: protocol line too long (%d bytes)", len(line))
-	}
-	return strings.TrimSuffix(line, "\n"), nil
 }
 
 // writeLine writes one LF-terminated line.

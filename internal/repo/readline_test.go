@@ -1,0 +1,56 @@
+package repo
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+)
+
+// endlessReader yields 'a' forever — the malicious-server stream that never
+// sends a newline. readLine must reject it after maxLineLen bytes instead of
+// buffering without bound (the old ReadString-based readLine accumulated the
+// whole stream before its length check).
+type endlessReader struct{ n int64 }
+
+func (e *endlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	e.n += int64(len(p))
+	return len(p), nil
+}
+
+func TestReadLineBoundsNewlineFreeStream(t *testing.T) {
+	src := &endlessReader{}
+	r := bufio.NewReader(src)
+	_, err := readLine(r)
+	if err == nil || !strings.Contains(err.Error(), "too long") {
+		t.Fatalf("newline-free stream: err = %v", err)
+	}
+	// The reader must have stopped near the cap, not buffered megabytes.
+	if src.n > 4*maxLineLen {
+		t.Fatalf("readLine consumed %d bytes before giving up", src.n)
+	}
+}
+
+func TestReadLineLengthEdges(t *testing.T) {
+	// Longest legal line: maxLineLen bytes including the newline.
+	legal := strings.Repeat("a", maxLineLen-1) + "\n"
+	got, err := readLine(bufio.NewReader(strings.NewReader(legal)))
+	if err != nil {
+		t.Fatalf("limit-length line: %v", err)
+	}
+	if len(got) != maxLineLen-1 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	// One byte over must fail even though the line does terminate.
+	over := strings.Repeat("a", maxLineLen) + "\n"
+	if _, err := readLine(bufio.NewReader(strings.NewReader(over))); err == nil {
+		t.Fatal("over-length line accepted")
+	}
+	// Plain EOF still surfaces as EOF.
+	if _, err := readLine(bufio.NewReader(strings.NewReader(""))); err != io.EOF {
+		t.Fatalf("empty stream: err = %v", err)
+	}
+}

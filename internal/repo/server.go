@@ -278,7 +278,7 @@ func (s *Server) serveGet(w *bufio.Writer, module, name string) bool {
 		_ = writeLine(w, "ERR no such object %q", name)
 		return true
 	}
-	if m.Faults.corrupted(name) {
+	if m.Faults.corrupted(name) || m.Faults.shouldCorrupt(name) {
 		content = corruptBytes(content)
 	}
 	if err := writeLine(w, "OK %d", len(content)); err != nil {
@@ -297,6 +297,30 @@ func (s *Server) serveGet(w *bufio.Writer, module, name string) bool {
 		for i := range content {
 			time.Sleep(d)
 			if err := w.WriteByte(content[i]); err != nil {
+				return false
+			}
+			if err := w.Flush(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if bw := m.Faults.bandwidthLimit(); bw > 0 {
+		// Sustained byte-rate cap: ship the body in ticks of bw/10 bytes per
+		// 100ms (at least 1 byte per tick), so the transfer progresses at
+		// roughly bytesPerSec and a deadline budget — not a first-byte
+		// timeout — decides whether the client survives it.
+		chunk := bw / 10
+		if chunk < 1 {
+			chunk = 1
+		}
+		for off := 0; off < len(content); off += chunk {
+			time.Sleep(100 * time.Millisecond)
+			end := off + chunk
+			if end > len(content) {
+				end = len(content)
+			}
+			if _, err := w.Write(content[off:end]); err != nil {
 				return false
 			}
 			if err := w.Flush(); err != nil {
@@ -338,7 +362,7 @@ func (s *Server) serveStat(w *bufio.Writer, module, name string) bool {
 		_ = writeLine(w, "ERR no such object %q", name)
 		return true
 	}
-	if m.Faults.corrupted(name) {
+	if m.Faults.corrupted(name) || m.Faults.shouldCorrupt(name) {
 		content = corruptBytes(content)
 	}
 	sum := sha256.Sum256(content)

@@ -1,0 +1,42 @@
+package rfc3779
+
+import (
+	"testing"
+
+	"repro/internal/ipres"
+)
+
+// FuzzRFC3779 drives both extension decoders with arbitrary bytes. Accepted
+// values must re-encode: decode → marshal must never fail, since path
+// validation treats a decoded extension as canonical.
+func FuzzRFC3779(f *testing.F) {
+	ipSeed, err := MarshalIPAddrBlocks(FromSet(ipres.MustParseSet("63.160.0.0/12, 2001:db8::/32")))
+	if err != nil {
+		f.Fatal(err)
+	}
+	asSeed, err := MarshalASIdentifiers(ASChoice{Set: ipres.NewASNSet(ipres.ASNRange{Lo: 64500, Hi: 64510})})
+	if err != nil {
+		f.Fatal(err)
+	}
+	inheritSeed, err := MarshalASIdentifiers(ASChoice{Inherit: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ipSeed)
+	f.Add(asSeed)
+	f.Add(inheritSeed)
+	f.Add([]byte{0x30, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if b, err := UnmarshalIPAddrBlocks(data); err == nil {
+			if _, err := MarshalIPAddrBlocks(b); err != nil {
+				t.Fatalf("accepted IPAddrBlocks does not re-encode: %v", err)
+			}
+		}
+		if c, err := UnmarshalASIdentifiers(data); err == nil {
+			if _, err := MarshalASIdentifiers(c); err != nil {
+				t.Fatalf("accepted ASIdentifiers does not re-encode: %v", err)
+			}
+		}
+	})
+}

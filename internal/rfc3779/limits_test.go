@@ -1,0 +1,67 @@
+package rfc3779
+
+import (
+	"encoding/asn1"
+	"strings"
+	"testing"
+)
+
+func TestUnmarshalRejectsOversizedExtension(t *testing.T) {
+	big := make([]byte, MaxExtensionSize+1)
+	if _, err := UnmarshalIPAddrBlocks(big); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized IPAddrBlocks: err = %v", err)
+	}
+	if _, err := UnmarshalASIdentifiers(big); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized ASIdentifiers: err = %v", err)
+	}
+}
+
+func TestUnmarshalIPAddrBlocksRejectsItemFlood(t *testing.T) {
+	// One /8 addressPrefix, repeated past the per-family item cap. The guard
+	// fires on raw count, before set canonicalization could dedup.
+	item, err := asn1.Marshal(asn1.BitString{Bytes: []byte{10}, BitLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []byte
+	for i := 0; i <= MaxResourceItems; i++ {
+		items = append(items, item...)
+	}
+	inner, err := asn1.Marshal(asn1.RawValue{Class: asn1.ClassUniversal, Tag: asn1.TagSequence, IsCompound: true, Bytes: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := asn1.Marshal([]ipAddressFamilySeq{{AddressFamily: []byte{0, 1}, Choice: asn1.RawValue{FullBytes: inner}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalIPAddrBlocks(der); err == nil || !strings.Contains(err.Error(), "address items exceeds") {
+		t.Fatalf("item flood: err = %v", err)
+	}
+}
+
+func TestUnmarshalASIdentifiersRejectsItemFlood(t *testing.T) {
+	item, err := asn1.Marshal(int64(64500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []byte
+	for i := 0; i <= MaxResourceItems; i++ {
+		items = append(items, item...)
+	}
+	inner, err := asn1.Marshal(asn1.RawValue{Class: asn1.ClassUniversal, Tag: asn1.TagSequence, IsCompound: true, Bytes: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := asn1.Marshal(asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 0, IsCompound: true, Bytes: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := asn1.Marshal(struct{ ASNum asn1.RawValue }{asn1.RawValue{FullBytes: tagged}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalASIdentifiers(der); err == nil || !strings.Contains(err.Error(), "AS items exceeds") {
+		t.Fatalf("AS item flood: err = %v", err)
+	}
+}

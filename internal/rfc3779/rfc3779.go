@@ -19,6 +19,19 @@ import (
 	"repro/internal/ipres"
 )
 
+// Hard input limits for decoded extensions. RFC 3779 extensions ride inside
+// certificates a misbehaving parent controls; bounding them here keeps an
+// oversized extension from forcing entry-proportional allocation during path
+// validation.
+const (
+	// MaxExtensionSize bounds one extension's DER encoding. Real RPKI
+	// resource extensions are a few KB even for large holdings.
+	MaxExtensionSize = 1 << 20
+	// MaxResourceItems bounds the addressesOrRanges / asIdsOrRanges element
+	// count per family.
+	MaxResourceItems = 65_536
+)
+
 // OIDs for the two RFC 3779 extensions.
 var (
 	// OIDIPAddrBlocks is id-pe-ipAddrBlocks (1.3.6.1.5.5.7.1.7).
@@ -229,6 +242,9 @@ func trailingOneBits(a ipres.Addr) int {
 
 // UnmarshalIPAddrBlocks decodes the DER extension value.
 func UnmarshalIPAddrBlocks(der []byte) (IPAddrBlocks, error) {
+	if len(der) > MaxExtensionSize {
+		return IPAddrBlocks{}, fmt.Errorf("rfc3779: extension %d bytes exceeds limit %d", len(der), MaxExtensionSize)
+	}
 	var fams []ipAddressFamilySeq
 	rest, err := asn1.Unmarshal(der, &fams)
 	if err != nil {
@@ -277,6 +293,9 @@ func unmarshalIPChoice(afi ipres.Family, raw asn1.RawValue) (*IPChoice, error) {
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("rfc3779: trailing bytes in addressesOrRanges")
+	}
+	if len(items) > MaxResourceItems {
+		return nil, fmt.Errorf("rfc3779: %d address items exceeds limit %d", len(items), MaxResourceItems)
 	}
 	var ranges []ipres.Range
 	for _, item := range items {
@@ -400,6 +419,9 @@ func MarshalASIdentifiers(c ASChoice) ([]byte, error) {
 
 // UnmarshalASIdentifiers decodes the DER extension value.
 func UnmarshalASIdentifiers(der []byte) (ASChoice, error) {
+	if len(der) > MaxExtensionSize {
+		return ASChoice{}, fmt.Errorf("rfc3779: extension %d bytes exceeds limit %d", len(der), MaxExtensionSize)
+	}
 	var seq struct{ ASNum asn1.RawValue }
 	rest, err := asn1.Unmarshal(der, &seq)
 	if err != nil {
@@ -421,6 +443,9 @@ func UnmarshalASIdentifiers(der []byte) (ASChoice, error) {
 	var items []asn1.RawValue
 	if _, err := asn1.Unmarshal(raw.FullBytes, &items); err != nil {
 		return ASChoice{}, fmt.Errorf("rfc3779: bad asIdsOrRanges: %w", err)
+	}
+	if len(items) > MaxResourceItems {
+		return ASChoice{}, fmt.Errorf("rfc3779: %d AS items exceeds limit %d", len(items), MaxResourceItems)
 	}
 	var ranges []ipres.ASNRange
 	for _, item := range items {

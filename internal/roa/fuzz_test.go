@@ -1,0 +1,44 @@
+package roa
+
+import (
+	"testing"
+
+	"repro/internal/ipres"
+)
+
+// FuzzParseROA drives the ROA eContent decoder and the CMS-wrapped path with
+// arbitrary bytes. Accepted ROAs must respect the prefix-count limit and
+// carry canonically valid prefixes (the invariants New enforces).
+func FuzzParseROA(f *testing.F) {
+	r := MustNew(65000,
+		MustParsePrefix("63.160.0.0/12-13"),
+		MustParsePrefix("2001:db8::/32"),
+	)
+	seed, err := r.MarshalContent()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := UnmarshalContent(data); err == nil {
+			if len(r.Prefixes) > MaxPrefixes {
+				t.Fatalf("accepted %d prefixes over limit", len(r.Prefixes))
+			}
+			for _, p := range r.Prefixes {
+				if !p.Prefix.IsValid() {
+					t.Fatalf("accepted invalid prefix %v", p)
+				}
+				if p.MaxLength < p.Prefix.Bits() || p.MaxLength > p.Prefix.Family().Width() {
+					t.Fatalf("accepted out-of-range max length %v", p)
+				}
+			}
+			if r.ASID > ipres.ASN(^uint32(0)) {
+				t.Fatalf("accepted out-of-range ASID %d", r.ASID)
+			}
+		}
+		_, _ = ParseSigned(data)
+	})
+}

@@ -1,0 +1,37 @@
+package roa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cms"
+	"repro/internal/ipres"
+)
+
+func TestUnmarshalContentRejectsOversized(t *testing.T) {
+	_, err := UnmarshalContent(make([]byte, cms.MaxObjectSize+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized eContent: err = %v", err)
+	}
+	if _, err := ParseSigned(make([]byte, cms.MaxObjectSize+1)); err == nil {
+		t.Fatal("oversized signed object accepted")
+	}
+}
+
+func TestUnmarshalContentRejectsPrefixFlood(t *testing.T) {
+	// Build the attestation directly (bypassing New's canonicalization) with
+	// one more prefix than the decoder admits.
+	r := &ROA{ASID: 1}
+	for i := 0; i <= MaxPrefixes; i++ {
+		p := ipres.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", (i>>8)&0xFF, i&0xFF))
+		r.Prefixes = append(r.Prefixes, Prefix{Prefix: p, MaxLength: 24})
+	}
+	der, err := r.MarshalContent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalContent(der); err == nil || !strings.Contains(err.Error(), "prefixes") {
+		t.Fatalf("prefix flood: err = %v", err)
+	}
+}

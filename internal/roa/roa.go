@@ -22,6 +22,12 @@ import (
 	"repro/internal/rfc3779"
 )
 
+// MaxPrefixes bounds the number of (prefix, maxLength) pairs a decoded ROA
+// may carry across all address families. Real ROAs hold a handful; 16384
+// stops a malicious CA from packing one signed object with millions of
+// entries that each fan out into VRP processing downstream.
+const MaxPrefixes = 16_384
+
 // Prefix is one authorized prefix with its maximum length: the origin AS
 // may announce any subprefix of Prefix whose length is at most MaxLength.
 type Prefix struct {
@@ -174,6 +180,9 @@ func (r *ROA) MarshalContent() ([]byte, error) {
 
 // UnmarshalContent decodes a ROA eContent.
 func UnmarshalContent(der []byte) (*ROA, error) {
+	if len(der) > cms.MaxObjectSize {
+		return nil, fmt.Errorf("roa: eContent %d bytes exceeds limit %d", len(der), cms.MaxObjectSize)
+	}
 	var raw routeOriginAttestation
 	rest, err := asn1.Unmarshal(der, &raw)
 	if err != nil {
@@ -195,6 +204,9 @@ func UnmarshalContent(der []byte) (*ROA, error) {
 			return nil, fmt.Errorf("roa: unsupported AFI %d", afi)
 		}
 		for _, a := range fam.Addresses {
+			if len(prefixes) >= MaxPrefixes {
+				return nil, fmt.Errorf("roa: more than %d prefixes", MaxPrefixes)
+			}
 			p, err := rfc3779.PrefixFromBitString(afi, a.Address)
 			if err != nil {
 				return nil, err
@@ -234,6 +246,9 @@ type Signed struct {
 // ROA's prefixes (when the EE carries explicit resources; inherit is
 // resolved later during path validation).
 func ParseSigned(der []byte) (*Signed, error) {
+	if len(der) > cms.MaxObjectSize {
+		return nil, fmt.Errorf("roa: object %d bytes exceeds limit %d", len(der), cms.MaxObjectSize)
+	}
 	obj, err := cms.Parse(der)
 	if err != nil {
 		return nil, err

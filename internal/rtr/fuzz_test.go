@@ -1,0 +1,53 @@
+package rtr
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// FuzzRTRRead drives ReadPDU with arbitrary wire bytes — the router side of
+// the protocol reads from a cache it does not control, so a malformed frame
+// must produce an error, never a panic (the ErrorReport length-overflow
+// regression in pdu_regress_test.go came from exactly this surface). A PDU
+// that decodes must survive a marshal/re-read round trip.
+func FuzzRTRRead(f *testing.F) {
+	seedPDUs := []*PDU{
+		{Type: TypeSerialNotify, Session: 7, Serial: 42},
+		{Type: TypeResetQuery},
+		{Type: TypeCacheResponse, Session: 7},
+		{Type: TypeIPv4Prefix, Flags: FlagAnnounce, VRP: rov.VRP{
+			Prefix: ipres.MustParsePrefix("63.160.0.0/12"), MaxLength: 13, ASN: 1239}},
+		{Type: TypeEndOfData, Session: 7, Serial: 42},
+		{Type: TypeErrorReport, Session: ErrCorruptData, ErrText: "bad pdu"},
+	}
+	for _, p := range seedPDUs {
+		buf, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// The two minimized ErrorReport overflow crashers.
+	f.Add([]byte{0, 10, 0, 0, 0, 0, 0, 16, 0xFF, 0xFF, 0xFF, 0xF8, 0, 0, 0, 0})
+	f.Add([]byte{0, 10, 0, 0, 0, 0, 0, 16, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xF8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPDU(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("decoded PDU does not re-marshal: %v", err)
+		}
+		q, err := ReadPDU(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("re-marshaled PDU does not re-read: %v", err)
+		}
+		if q.Type != p.Type || q.Serial != p.Serial || q.ErrText != p.ErrText {
+			t.Fatalf("round trip mismatch: %+v vs %+v", p, q)
+		}
+	})
+}

@@ -173,16 +173,20 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 		if len(body) < 8 {
 			return nil, fmt.Errorf("rtr: short error report")
 		}
-		encLen := binary.BigEndian.Uint32(body)
-		if uint64(4+encLen+4) > uint64(len(body)) {
+		// All length arithmetic in uint64: the declared encapsulated-PDU
+		// length is attacker-controlled, and summing it in uint32 wraps
+		// (encLen near 2^32 passed the old bounds check and then sliced far
+		// past the body — a remote panic found by FuzzRTRRead).
+		encLen := uint64(binary.BigEndian.Uint32(body))
+		if 4+encLen+4 > uint64(len(body)) {
 			return nil, fmt.Errorf("rtr: bad error report lengths")
 		}
 		textOff := 4 + encLen
-		textLen := binary.BigEndian.Uint32(body[textOff:])
-		if uint64(textOff+4)+uint64(textLen) > uint64(len(body)) {
+		textLen := uint64(binary.BigEndian.Uint32(body[textOff:]))
+		if textOff+4+textLen > uint64(len(body)) {
 			return nil, fmt.Errorf("rtr: bad error text length")
 		}
-		p.ErrText = string(body[textOff+4 : uint32(textOff+4)+textLen])
+		p.ErrText = string(body[textOff+4 : textOff+4+textLen])
 	default:
 		return nil, fmt.Errorf("rtr: unsupported PDU type %d", p.Type)
 	}

@@ -1,0 +1,50 @@
+package rtr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadPDUErrorReportOverflow is the minimized regression for a remote
+// panic in ReadPDU: an ErrorReport whose declared encapsulated-PDU length is
+// near 2^32 made the old uint32 bounds check wrap (4+encLen+4 overflowed to a
+// small value), after which body[textOff:] sliced far out of range —
+// panic: slice bounds out of range [4294967292:8]. A malicious or corrupted
+// cache could kill a router-side client with 16 bytes.
+func TestReadPDUErrorReportOverflow(t *testing.T) {
+	// Header: version 0, type 10 (ErrorReport), error code 0, length 16.
+	// Body: encLen 0xFFFFFFF8, then 4 more bytes so len(body) = 8.
+	crasher := []byte{0, 10, 0, 0, 0, 0, 0, 16, 0xFF, 0xFF, 0xFF, 0xF8, 0, 0, 0, 0}
+	p, err := ReadPDU(bytes.NewReader(crasher))
+	if err == nil {
+		t.Fatalf("ReadPDU accepted overflowing error report: %+v", p)
+	}
+}
+
+// TestReadPDUErrorReportTextOverflow covers the second wrap site: encLen in
+// range but textLen near 2^32 so textOff+4+textLen wrapped in uint32.
+func TestReadPDUErrorReportTextOverflow(t *testing.T) {
+	// encLen 0, textLen 0xFFFFFFF8, no text bytes.
+	crasher := []byte{0, 10, 0, 0, 0, 0, 0, 16, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xF8}
+	p, err := ReadPDU(bytes.NewReader(crasher))
+	if err == nil {
+		t.Fatalf("ReadPDU accepted overflowing error text length: %+v", p)
+	}
+}
+
+// TestReadPDUErrorReportRoundTrip keeps the legitimate path working: a
+// well-formed error report with text still decodes.
+func TestReadPDUErrorReportRoundTrip(t *testing.T) {
+	in := &PDU{Type: TypeErrorReport, Session: ErrCorruptData, ErrText: "bad pdu"}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := ReadPDU(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("ReadPDU: %v", err)
+	}
+	if out.ErrText != in.ErrText || out.Session != in.Session {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
