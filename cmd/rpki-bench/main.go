@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	rpki-bench [-out BENCH_PR7.json] [-tiers 10000,100000,1000000]
+//	rpki-bench [-out BENCH_PR9.json] [-tiers 10000,100000,1000000]
 //	           [-micro] [-benchtime 1s] [-workers N] [-rss-budget-mb M]
-//	           [-worlddir DIR]
+//	           [-worlddir DIR] [-rtr-scale 1000,5000,10000] [-rtr-deltas N]
+//	           [-rtr-vrps N] [-rtr-rss-budget-mb M]
 //
-// Two suites:
+// Three suites:
 //
 //   - The micro suite (-micro, on by default) covers the steady-state
 //     polling pipeline end to end: cold validation of the production-sized
@@ -28,6 +29,21 @@
 //     that phase alone. The harness fails if the streaming and baseline
 //     paths disagree on the VRP set (byte-level digest compare), or if a
 //     streaming phase exceeds -rss-budget-mb.
+//
+//   - The rtr-scale suite (-rtr-scale) measures the router-fleet fan-out:
+//     per client tier (e.g. 1k/5k/10k concurrent RTR clients), one fresh
+//     server subprocess owns the cache, the RTR listener, a replication
+//     feed with a live replica, and one deliberately stalled client, while
+//     the router fleet runs in subprocesses of at most 8000 clients each
+//     (a TCP connection costs a descriptor on both ends, and per-process
+//     RLIMIT_NOFILE hard limits are not raisable without
+//     CAP_SYS_RESOURCE). The server drives -rtr-deltas cache updates
+//     through the sharded notify path and records the delta-propagation
+//     p50/p99/max across every client×delta sample plus the process tree's
+//     peak RSS. The phase hard-fails unless the stalled client was
+//     evicted, every surviving client's final VRP set equals the cache's
+//     canonical set, and the replica frontend ends byte-identical to the
+//     primary (StateDigest compare — session, serial, and snapshot frame).
 //
 // Worlds live in per-tier temp directories removed after the tier finishes;
 // pass -worlddir to keep them (and to reuse an already-generated world on
@@ -89,14 +105,44 @@ type scaleResult struct {
 	VRPDigest       string  `json:"vrp_digest,omitempty"`
 }
 
+// rtrScaleResult is one rtr-scale tier, measured in its own subprocess.
+type rtrScaleResult struct {
+	Name    string `json:"name"` // rtr_scale_<clients>
+	Clients int    `json:"clients"`
+	Deltas  int    `json:"deltas"`
+	VRPs    int    `json:"vrps"`
+	// Delta-propagation latency over every client×delta sample: SetVRPs
+	// call to the client's End of Data for that serial.
+	P50DeltaMS float64 `json:"p50_delta_ms"`
+	P99DeltaMS float64 `json:"p99_delta_ms"`
+	MaxDeltaMS float64 `json:"max_delta_ms"`
+	// SyncSeconds is the initial fleet connect+snapshot time; WallSeconds
+	// covers the whole phase.
+	SyncSeconds  float64 `json:"sync_seconds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"` // whole tier: server process (cache+replica) plus every fleet subprocess
+	// Evictions must be >= 1: the deliberately stalled client.
+	Evictions uint64 `json:"evictions"`
+	// EquivalentClients counts clients whose final VRP digest matched the
+	// cache's canonical set; the phase fails unless it equals Clients.
+	EquivalentClients int    `json:"equivalent_clients"`
+	VRPDigest         string `json:"vrp_digest"`
+	// ReplicaDigestOK: the replica frontend's StateDigest (session, serial,
+	// snapshot frame) is byte-identical to the primary's.
+	ReplicaDigestOK bool   `json:"replica_digest_ok"`
+	GoVersion       string `json:"go_version"`
+	CPUs            int    `json:"cpus"`
+}
+
 type report struct {
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	CPUs      int           `json:"cpus"`
-	Results   []benchResult `json:"results,omitempty"`
-	Scale     []scaleResult `json:"scale,omitempty"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	CPUs      int              `json:"cpus"`
+	Results   []benchResult    `json:"results,omitempty"`
+	Scale     []scaleResult    `json:"scale,omitempty"`
+	RTRScale  []rtrScaleResult `json:"rtr_scale,omitempty"`
 	// ObsOverheadPct is the warm re-sync cost of full instrumentation:
 	// (warm_resync_instrumented - warm_resync_module_reuse) / baseline,
 	// as a percentage. Nil when the micro suite did not run.
@@ -104,7 +150,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "write the JSON report to this file (empty: stdout only)")
+	out := flag.String("out", "BENCH_PR9.json", "write the JSON report to this file (empty: stdout only)")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per micro-benchmark")
 	micro := flag.Bool("micro", true, "run the micro-benchmark suite")
 	tiers := flag.String("tiers", "", "comma-separated ROA tiers for the scaling suite (e.g. 10000,100000,1000000)")
@@ -112,11 +158,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "world-generation seed for the scaling suite")
 	worlddir := flag.String("worlddir", "", "keep/reuse generated worlds under this directory (default: per-tier temp dirs)")
 	rssBudgetMB := flag.Int("rss-budget-mb", 0, "fail if a streaming validation phase's peak RSS exceeds this many MiB (0: no budget)")
+	rtrScale := flag.String("rtr-scale", "", "comma-separated concurrent-client tiers for the rtr-scale suite (e.g. 1000,5000,10000)")
+	rtrDeltas := flag.Int("rtr-deltas", 10, "cache updates to propagate per rtr-scale tier")
+	rtrVRPs := flag.Int("rtr-vrps", 2000, "base VRP count served by the rtr-scale cache")
+	rtrRSSBudgetMB := flag.Int("rtr-rss-budget-mb", 0, "fail if an rtr-scale tier's peak RSS exceeds this many MiB (0: no budget)")
 	phase := flag.String("phase", "", "internal: run a single scaling phase in this process and print its JSON record")
 	tier := flag.Int("tier", 0, "internal: ROA tier for -phase")
+	rtrClients := flag.Int("rtr-clients", 0, "internal: concurrent-client count for -phase rtr_scale / rtr_fleet")
+	rtrAddr := flag.String("rtr-addr", "", "internal: RTR server address for -phase rtr_fleet")
 	testing.Init() // registers the test.* flags testing.Benchmark reads
 	flag.Parse()
 
+	if *phase == "rtr_scale" {
+		if err := runRTRScalePhase(*rtrClients, *rtrDeltas, *rtrVRPs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *phase == "rtr_fleet" {
+		if err := runRTRFleetPhase(*rtrAddr, *rtrClients, *rtrDeltas, *rtrVRPs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *phase != "" {
 		if err := runPhase(*phase, *tier, *worlddir, *seed, *workers); err != nil {
 			fatal(err)
@@ -139,6 +203,12 @@ func main() {
 	}
 	if *tiers != "" {
 		if err := runScale(rep, *tiers, *worlddir, *seed, *workers, *rssBudgetMB); err != nil {
+			writeReport(rep, *out) // keep partial results for debugging
+			fatal(err)
+		}
+	}
+	if *rtrScale != "" {
+		if err := runRTRScale(rep, *rtrScale, *rtrDeltas, *rtrVRPs, *rtrRSSBudgetMB); err != nil {
 			writeReport(rep, *out) // keep partial results for debugging
 			fatal(err)
 		}

@@ -1,0 +1,589 @@
+// The rtr-scale suite: fleet-scale RTR fan-out measured end to end. Each
+// client tier runs as a process tree (see runRTRScale): one server process
+// owns the cache, the RTR listener, the replication feed plus a replica,
+// and one deliberately stalled client; the router fleet itself runs in one
+// or more fleet subprocesses (-phase rtr_fleet) of at most 8000 clients
+// each, because a TCP connection costs a descriptor on *both* ends and the
+// per-process RLIMIT_NOFILE hard limit cannot be raised without
+// CAP_SYS_RESOURCE. Fleet processes report per-serial client arrival
+// timestamps over their stdout pipe; the server process stamps each
+// SetVRPs and derives the delta-propagation latency distribution.
+//
+// The phase is a correctness gate as much as a benchmark: it hard-fails
+// unless the stalled client was evicted, every surviving client's final
+// VRP set equals the cache's canonical set, and the replica frontend ends
+// byte-identical to the primary (StateDigest).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+	"repro/internal/rtr"
+)
+
+// maxClientsPerFleet bounds one fleet subprocess's descriptor usage well
+// under the 20000-ish RLIMIT_NOFILE hard limits containers commonly pin.
+const maxClientsPerFleet = 8000
+
+// rtrScaleBase builds the synthetic base VRP set served by the cache: n
+// distinct /24s under 10.0.0.0/8, the same shape the rtr package's own
+// scale tests use.
+func rtrScaleBase(n int) []rov.VRP {
+	out := make([]rov.VRP, 0, n)
+	for i := 0; i < n; i++ {
+		p := ipres.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", (i/256)%256, i%256))
+		out = append(out, rov.VRP{Prefix: p, MaxLength: 24, ASN: ipres.ASN(64500 + i%1000)})
+	}
+	return out
+}
+
+// rtrScaleSet is the cache state after the given delta round: the base set
+// plus one distinct marker VRP per completed round, so every SetVRPs is a
+// real single-announcement delta and the final set encodes the full
+// history. Both the server process and the fleet processes compute it
+// independently — the equivalence check needs no side channel.
+func rtrScaleSet(base []rov.VRP, round int) []rov.VRP {
+	out := make([]rov.VRP, 0, len(base)+round)
+	out = append(out, base...)
+	for i := 1; i <= round; i++ {
+		p := ipres.MustParsePrefix(fmt.Sprintf("198.%d.%d.0/24", 18+i/256, i%256))
+		out = append(out, rov.VRP{Prefix: p, MaxLength: 24, ASN: ipres.ASN(64900 + i)})
+	}
+	return out
+}
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE to at least need descriptors,
+// raising the hard limit too when the process is allowed to
+// (CAP_SYS_RESOURCE); otherwise it settles for the hard limit and errors
+// only if that is still short.
+func raiseFDLimit(need uint64) error {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return fmt.Errorf("getrlimit: %w", err)
+	}
+	if lim.Cur >= need {
+		return nil
+	}
+	want := lim
+	want.Cur = need
+	if want.Max < need {
+		want.Max = need
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err != nil {
+		want.Cur, want.Max = lim.Max, lim.Max
+		if err2 := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err2 != nil {
+			return fmt.Errorf("setrlimit: %w", err)
+		}
+	}
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return fmt.Errorf("getrlimit: %w", err)
+	}
+	if lim.Cur < need {
+		return fmt.Errorf("file-descriptor limit %d < %d needed (hard limit not raisable without CAP_SYS_RESOURCE)", lim.Cur, need)
+	}
+	return nil
+}
+
+func vrpSlicesEqual(a, b []rov.VRP) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runRTRFleetPhase is the fleet subprocess: it connects clients to the
+// server at addr, and for each serial 1..deltas+1 prints one line
+//
+//	S <serial> <unix-nano arrival per client>...
+//
+// once every client has committed that serial (arrivals are wall-clock so
+// the server process, on the same machine, can subtract its SetVRPs
+// stamp). After the final serial it prints "EQ <n>" — how many clients
+// hold exactly the canonical final VRP set — and "RSS <bytes>", then
+// exits. Clients redial on connect-storm backlog drops; a synced client
+// resumes its session, so retries never double-count arrivals.
+func runRTRFleetPhase(addr string, clients, deltas, vrps int) error {
+	if addr == "" {
+		return fmt.Errorf("rtr_fleet phase needs -rtr-addr")
+	}
+	if clients <= 0 || clients > maxClientsPerFleet {
+		return fmt.Errorf("rtr_fleet phase: %d clients out of range [1,%d]", clients, maxClientsPerFleet)
+	}
+	if err := raiseFDLimit(uint64(clients) + 1024); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Per-serial arrival collection. OnSerial fires once per End of Data
+	// with the landed serial; a reconnecting client can coalesce several
+	// serials into one response, so each callback credits every serial in
+	// (last, landed] — the client had that serial's data no later than now.
+	maxSerial := uint32(deltas + 1)
+	type track struct {
+		mu       sync.Mutex
+		arrivals []int64
+		done     chan struct{}
+	}
+	tracks := make([]*track, maxSerial+1)
+	for i := range tracks {
+		tracks[i] = &track{done: make(chan struct{})}
+	}
+
+	fleet := make([]*rtr.Client, clients)
+	for i := range fleet {
+		c := rtr.NewClient(addr)
+		fleet[i] = c
+		last := uint32(0) // callbacks for one client are sequential
+		c.OnSerial(func(serial uint32) {
+			if serial > maxSerial {
+				serial = maxSerial
+			}
+			now := time.Now().UnixNano()
+			for s := last + 1; s <= serial; s++ {
+				t := tracks[s]
+				t.mu.Lock()
+				t.arrivals = append(t.arrivals, now)
+				if len(t.arrivals) == clients {
+					close(t.done)
+				}
+				t.mu.Unlock()
+			}
+			if serial > last {
+				last = serial
+			}
+		})
+		go func() {
+			for ctx.Err() == nil {
+				_ = c.Run(ctx)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+		}()
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	budget := 120*time.Second + time.Duration(clients)*5*time.Millisecond
+	for s := uint32(1); s <= maxSerial; s++ {
+		t := tracks[s]
+		select {
+		case <-t.done:
+		case <-time.After(budget):
+			t.mu.Lock()
+			n := len(t.arrivals)
+			t.mu.Unlock()
+			return fmt.Errorf("serial %d: only %d/%d clients converged within %v", s, n, clients, budget)
+		}
+		t.mu.Lock()
+		fmt.Fprintf(w, "S %d", s)
+		for _, a := range t.arrivals {
+			fmt.Fprintf(w, " %d", a)
+		}
+		t.mu.Unlock()
+		fmt.Fprintln(w)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	want := rtrScaleSet(rtrScaleBase(vrps), deltas)
+	rov.SortVRPs(want)
+	eq := 0
+	for _, c := range fleet {
+		if vrpSlicesEqual(c.VRPs(), want) {
+			eq++
+		}
+	}
+	fmt.Fprintf(w, "EQ %d\nRSS %d\n", eq, peakRSSBytes())
+	return w.Flush()
+}
+
+// fleetChild is the server process's handle on one fleet subprocess.
+type fleetChild struct {
+	clients int
+	cmd     *exec.Cmd
+	lines   chan string
+}
+
+func startFleet(exe, addr string, clients, deltas, vrps int) (*fleetChild, error) {
+	cmd := exec.Command(exe,
+		"-phase", "rtr_fleet",
+		"-rtr-addr", addr,
+		"-rtr-clients", strconv.Itoa(clients),
+		"-rtr-deltas", strconv.Itoa(deltas),
+		"-rtr-vrps", strconv.Itoa(vrps),
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	fc := &fleetChild{clients: clients, cmd: cmd, lines: make(chan string, 4)}
+	go func() {
+		defer close(fc.lines)
+		sc := bufio.NewScanner(out)
+		// One arrival line carries a timestamp per client.
+		sc.Buffer(make([]byte, 1<<20), 64<<20)
+		for sc.Scan() {
+			fc.lines <- sc.Text()
+		}
+	}()
+	return fc, nil
+}
+
+// waitSerial blocks until the child reports full convergence on serial,
+// returning the per-client arrival timestamps (unix nanos).
+func (fc *fleetChild) waitSerial(serial uint32, budget time.Duration) ([]int64, error) {
+	select {
+	case line, ok := <-fc.lines:
+		if !ok {
+			return nil, fmt.Errorf("fleet child exited before serial %d", serial)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] != "S" || fields[1] != strconv.FormatUint(uint64(serial), 10) {
+			return nil, fmt.Errorf("fleet child: want serial %d report, got %.60q", serial, line)
+		}
+		arrivals := make([]int64, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet child: bad arrival %q: %w", f, err)
+			}
+			arrivals = append(arrivals, n)
+		}
+		if len(arrivals) != fc.clients {
+			return nil, fmt.Errorf("fleet child: %d arrivals for serial %d, want %d", len(arrivals), serial, fc.clients)
+		}
+		return arrivals, nil
+	case <-time.After(budget):
+		return nil, fmt.Errorf("fleet child: serial %d not converged within %v", serial, budget)
+	}
+}
+
+// finish reads the child's equivalence count and peak RSS, then reaps it.
+func (fc *fleetChild) finish(budget time.Duration) (equivalent int, rssBytes int64, err error) {
+	read := func(key string) (int64, error) {
+		select {
+		case line, ok := <-fc.lines:
+			if !ok {
+				return 0, fmt.Errorf("fleet child exited before %s report", key)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[0] != key {
+				return 0, fmt.Errorf("fleet child: want %s report, got %.60q", key, line)
+			}
+			return strconv.ParseInt(fields[1], 10, 64)
+		case <-time.After(budget):
+			return 0, fmt.Errorf("fleet child: no %s report within %v", key, budget)
+		}
+	}
+	eq, err := read("EQ")
+	if err != nil {
+		return 0, 0, err
+	}
+	rss, err := read("RSS")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := fc.cmd.Wait(); err != nil {
+		return 0, 0, fmt.Errorf("fleet child: %w", err)
+	}
+	return int(eq), rss, nil
+}
+
+func (fc *fleetChild) kill() {
+	_ = fc.cmd.Process.Kill()
+	_ = fc.cmd.Wait()
+}
+
+// runRTRScalePhase runs one rtr-scale tier: this process is the server
+// (cache, RTR listener, replication feed + replica, stalled client), the
+// fleet runs in subprocesses. Prints the rtrScaleResult as a single JSON
+// line on stdout. Every gate the parent checks is also enforced here as a
+// hard error.
+func runRTRScalePhase(clients, deltas, vrps int) error {
+	switch {
+	case clients <= 0:
+		return fmt.Errorf("rtr_scale phase needs -rtr-clients > 0")
+	case deltas < 1 || deltas > 10000:
+		return fmt.Errorf("-rtr-deltas %d out of range [1,10000]", deltas)
+	case vrps < 1 || vrps > 500000:
+		return fmt.Errorf("-rtr-vrps %d out of range [1,500000]", vrps)
+	}
+	// Server-side descriptor per fleet client, plus listener/pipes/slack.
+	if err := raiseFDLimit(uint64(clients) + 4096); err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	rec := rtrScaleResult{
+		Name:      fmt.Sprintf("rtr_scale_%d", clients),
+		Clients:   clients,
+		Deltas:    deltas,
+		VRPs:      vrps,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+	wallStart := time.Now()
+
+	base := rtrScaleBase(vrps)
+	cache := rtr.NewCache(uint16(os.Getpid()))
+	cache.SetVRPs(rtrScaleSet(base, 0)) // serial 1: the snapshot the fleet loads
+	srv := rtr.NewServer(cache)
+	srv.MaxClients = clients + 8 // fleet + stalled client + slack: the knob is live but never the bottleneck
+	srv.WriteTimeout = 2 * time.Second
+	srv.WriteBuffer = 8 << 10 // a stalled router stalls the write, not server memory
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Replica frontend following the replication stream for the whole phase.
+	rs := rtr.NewReplicationServer(cache)
+	raddr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	replica := rtr.NewReplica(raddr, rtr.NewCache(0))
+	go func() { _ = replica.Run(ctx) }()
+
+	// The fleet, in subprocesses of at most maxClientsPerFleet clients.
+	var children []*fleetChild
+	defer func() {
+		for _, fc := range children {
+			fc.kill()
+		}
+	}()
+	for remaining := clients; remaining > 0; {
+		n := remaining
+		if n > maxClientsPerFleet {
+			n = maxClientsPerFleet
+		}
+		remaining -= n
+		fc, err := startFleet(exe, addr, n, deltas, vrps)
+		if err != nil {
+			return err
+		}
+		children = append(children, fc)
+	}
+
+	syncStart := time.Now()
+	syncBudget := 180*time.Second + time.Duration(clients)*5*time.Millisecond
+	for _, fc := range children {
+		if _, err := fc.waitSerial(1, syncBudget); err != nil {
+			return fmt.Errorf("initial sync: %w", err)
+		}
+	}
+	rec.SyncSeconds = time.Since(syncStart).Seconds()
+
+	// The stalled client: asks for the snapshot, then never reads. With the
+	// server's bounded write buffer and a tiny receive window the snapshot
+	// write must stall, trip the write deadline, and evict.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("stalled client dial: %w", err)
+	}
+	defer stalled.Close()
+	if tc, ok := stalled.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(2 << 10)
+	}
+	if err := stalled.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return fmt.Errorf("stalled client deadline: %w", err)
+	}
+	if err := rtr.WritePDU(stalled, &rtr.PDU{Type: rtr.TypeResetQuery}); err != nil {
+		return fmt.Errorf("stalled client query: %w", err)
+	}
+
+	// The measured deltas, each gated on full-fleet convergence so serials
+	// cannot coalesce and every sample is attributable to one update.
+	lats := make([]time.Duration, 0, clients*deltas)
+	deltaBudget := 60*time.Second + time.Duration(clients)*2*time.Millisecond
+	for d := 1; d <= deltas; d++ {
+		serial := uint32(d + 1)
+		startNano := time.Now().UnixNano()
+		cache.SetVRPs(rtrScaleSet(base, d))
+		for _, fc := range children {
+			arrivals, err := fc.waitSerial(serial, deltaBudget)
+			if err != nil {
+				return fmt.Errorf("delta %d: %w", d, err)
+			}
+			for _, a := range arrivals {
+				lat := time.Duration(a - startNano)
+				if lat < 0 {
+					lat = 0
+				}
+				lats = append(lats, lat)
+			}
+		}
+	}
+
+	// Gate 1: the stalled client must have been evicted, not buffered for.
+	evictDeadline := time.Now().Add(30 * time.Second)
+	for srv.Evictions() == 0 && time.Now().Before(evictDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	rec.Evictions = srv.Evictions()
+	if rec.Evictions == 0 {
+		return fmt.Errorf("stalled client was never evicted")
+	}
+
+	// Gate 2: every surviving client ends with exactly the cache's
+	// canonical VRP set — not approximately, not eventually.
+	var childRSS int64
+	for _, fc := range children {
+		eq, rss, err := fc.finish(deltaBudget)
+		if err != nil {
+			return err
+		}
+		rec.EquivalentClients += eq
+		childRSS += rss
+	}
+	want := rtrScaleSet(base, deltas)
+	rov.SortVRPs(want)
+	rec.VRPDigest = digestVRPs(want)
+	if rec.EquivalentClients != clients {
+		return fmt.Errorf("only %d/%d clients hold the canonical VRP set", rec.EquivalentClients, clients)
+	}
+
+	// Gate 3: the replica frontend converges to a byte-identical state
+	// digest (session, serial, snapshot frame) with the primary.
+	replicaDeadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(replicaDeadline) {
+		if replica.Cache().Serial() == cache.Serial() && replica.Cache().StateDigest() == cache.StateDigest() {
+			rec.ReplicaDigestOK = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !rec.ReplicaDigestOK {
+		return fmt.Errorf("replica state digest diverged from primary (replica serial %d, primary %d, lag %d)",
+			replica.Cache().Serial(), cache.Serial(), replica.Lag())
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rec.P50DeltaMS = percentileMS(lats, 50)
+	rec.P99DeltaMS = percentileMS(lats, 99)
+	if n := len(lats); n > 0 {
+		rec.MaxDeltaMS = float64(lats[n-1]) / float64(time.Millisecond)
+	}
+	rec.WallSeconds = time.Since(wallStart).Seconds()
+	rec.PeakRSSBytes = peakRSSBytes() + childRSS
+
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// percentileMS reads the p-th percentile from an ascending-sorted latency
+// slice, in milliseconds.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// runRTRScale drives the rtr-scale suite: one fresh server subprocess per
+// client tier (which in turn spawns its fleet subprocesses) so peak RSS is
+// attributable to that tier alone, with the correctness gates re-checked
+// here from the record (defense in depth — the phase already hard-fails on
+// any of them).
+func runRTRScale(rep *report, tiersCSV string, deltas, vrps, rssBudgetMB int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	var tiers []int
+	for _, part := range strings.Split(tiersCSV, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad rtr-scale tier %q", part)
+		}
+		tiers = append(tiers, n)
+	}
+
+	for _, clients := range tiers {
+		fmt.Fprintf(os.Stderr, "== rtr-scale: %d clients (deltas=%d, vrps=%d)\n", clients, deltas, vrps)
+		cmd := exec.Command(exe,
+			"-phase", "rtr_scale",
+			"-rtr-clients", strconv.Itoa(clients),
+			"-rtr-deltas", strconv.Itoa(deltas),
+			"-rtr-vrps", strconv.Itoa(vrps),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("rtr-scale %d clients: %w", clients, err)
+		}
+		var rec rtrScaleResult
+		if err := json.Unmarshal([]byte(strings.TrimSpace(string(out))), &rec); err != nil {
+			return fmt.Errorf("rtr-scale %d clients: bad record %q: %w", clients, out, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"   sync %6.2fs  delta p50 %7.2fms  p99 %7.2fms  max %7.2fms  peak RSS %7.1f MiB  evictions=%d  equivalent=%d/%d  replica_ok=%v\n",
+			rec.SyncSeconds, rec.P50DeltaMS, rec.P99DeltaMS, rec.MaxDeltaMS,
+			float64(rec.PeakRSSBytes)/(1<<20), rec.Evictions, rec.EquivalentClients, rec.Clients, rec.ReplicaDigestOK)
+
+		if rec.Evictions == 0 {
+			return fmt.Errorf("rtr-scale %d clients: stalled client was not evicted", clients)
+		}
+		if rec.EquivalentClients != clients {
+			return fmt.Errorf("rtr-scale %d clients: only %d clients equivalent", clients, rec.EquivalentClients)
+		}
+		if !rec.ReplicaDigestOK {
+			return fmt.Errorf("rtr-scale %d clients: replica digest mismatch", clients)
+		}
+		if rssBudgetMB > 0 && rec.PeakRSSBytes > int64(rssBudgetMB)<<20 {
+			return fmt.Errorf("%s: peak RSS %d bytes exceeds budget %d MiB", rec.Name, rec.PeakRSSBytes, rssBudgetMB)
+		}
+		rep.RTRScale = append(rep.RTRScale, rec)
+	}
+	return nil
+}

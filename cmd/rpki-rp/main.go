@@ -8,6 +8,8 @@
 //	rpki-rp -tal arin.tal -server 127.0.0.1:8873 [-poll 30s] [-rtr 127.0.0.1:8282] [-policy best-effort|drop-pubpoint] [-workers N]
 //	        [-max-retries N] [-request-timeout D] [-stale-ttl D] [-breaker-threshold N] [-breaker-cooldown D]
 //	        [-no-module-reuse] [-ops-listen 127.0.0.1:9090] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-rtr-max-clients N] [-rtr-send-queue N] [-rtr-write-timeout D] [-rtr-replication-listen addr]
+//	rpki-rp -rtr-replica-of primary:8283 -rtr 127.0.0.1:8282   (stateless RTR frontend, no TAL, no validation)
 //
 // With -poll the daemon re-syncs on the given interval. Steady-state polls
 // are incremental: object snapshots are cached so unchanged objects are
@@ -24,6 +26,17 @@
 // cannot stall a sync, repeated failures trip a per-point circuit breaker
 // (-breaker-threshold/-breaker-cooldown), and unreachable points are served
 // from their last cleanly validated snapshot for up to -stale-ttl.
+//
+// The RTR fleet flags bound what routers can cost the daemon:
+// -rtr-max-clients caps concurrent RTR connections, -rtr-send-queue bounds
+// each connection's response queue, and -rtr-write-timeout is the stall
+// deadline after which a slow consumer is evicted with a graceful Error
+// PDU. With -rtr-replication-listen the daemon additionally streams its
+// validated cache (snapshot + serial-numbered deltas) to replica
+// frontends; with -rtr-replica-of the daemon is such a frontend — it skips
+// the TAL and validation entirely and serves RTR from a cache mirrored off
+// the primary, byte-identical down to the session ID so routers can resume
+// sessions against any frontend.
 //
 // With -ops-listen the daemon serves an operator HTTP surface: /metrics
 // (Prometheus text format), /healthz, /readyz (200 once a clean or
@@ -49,6 +62,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/repo"
 	"repro/internal/rp"
+	"repro/internal/rtr"
 )
 
 func main() {
@@ -68,8 +82,19 @@ func main() {
 	opsListen := flag.String("ops-listen", "", "serve /metrics, /healthz, /readyz, /debug/* on this address (empty: disabled)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit (one-shot runs; live daemons: /debug/pprof on -ops-listen)")
+	rtrMaxClients := flag.Int("rtr-max-clients", 0, "max concurrent RTR connections; over-cap connections get an Error PDU (0: unlimited)")
+	rtrSendQueue := flag.Int("rtr-send-queue", 32, "per-RTR-connection response-queue capacity; a client that fills it is evicted")
+	rtrWriteTimeout := flag.Duration("rtr-write-timeout", 30*time.Second, "RTR write-stall deadline; a slow consumer exceeding it is evicted")
+	rtrReplicaOf := flag.String("rtr-replica-of", "", "follow this primary's replication stream and serve RTR from the mirrored cache (no TAL, no validation)")
+	rtrReplicationListen := flag.String("rtr-replication-listen", "", "stream the validated cache (snapshot + deltas) to replica frontends on this address (empty: disabled)")
 	flag.Parse()
+	// All flag validation happens up front, before the TAL is touched or
+	// any socket is opened, so a misconfigured daemon dies with a usage
+	// error instead of half-starting.
 	if err := validateFlags(*maxRetries, *requestTimeout, *breakerThreshold, *breakerCooldown); err != nil {
+		fatal(err)
+	}
+	if err := validateRTRFlags(*rtrAddr, *rtrMaxClients, *rtrSendQueue, *rtrWriteTimeout, *rtrReplicaOf, *rtrReplicationListen); err != nil {
 		fatal(err)
 	}
 	if *poll != 0 {
@@ -90,6 +115,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "memprofile:", err)
 		}
 	}()
+
+	// Replica mode: no TAL, no validation — mirror a primary's cache and
+	// serve routers from it.
+	if *rtrReplicaOf != "" {
+		runReplica(*rtrReplicaOf, *rtrAddr, *opsListen, *rtrMaxClients, *rtrSendQueue, *rtrWriteTimeout)
+		return
+	}
 
 	anchor, err := rpkirisk.ReadTAL(*talPath)
 	if err != nil {
@@ -185,14 +217,31 @@ func main() {
 	}
 
 	var updateCache func(*rp.Result)
-	if *rtrAddr != "" {
-		bound, cache, stopRTR, err := rpkirisk.ServeRTR(*rtrAddr, result.VRPs)
-		if err != nil {
-			fatal(err)
-		}
-		defer stopRTR()
+	if *rtrAddr != "" || *rtrReplicationListen != "" {
+		cache := rtr.NewCache(uint16(os.Getpid())) //nolint:gosec // session id only
+		cache.SetVRPs(result.VRPs)
 		cache.Instrument(hub)
-		fmt.Printf("RTR server on %s (serial %d)\n", bound, cache.Serial())
+		if *rtrAddr != "" {
+			srv := rtr.NewServer(cache)
+			srv.MaxClients = *rtrMaxClients
+			srv.SendQueue = *rtrSendQueue
+			srv.WriteTimeout = *rtrWriteTimeout
+			bound, err := srv.Listen(*rtrAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Printf("RTR server on %s (serial %d)\n", bound, cache.Serial())
+		}
+		if *rtrReplicationListen != "" {
+			rs := rtr.NewReplicationServer(cache)
+			bound, err := rs.Listen(*rtrReplicationListen)
+			if err != nil {
+				fatal(err)
+			}
+			defer func() { _ = rs.Close() }()
+			fmt.Printf("replication stream on %s\n", bound)
+		}
 		updateCache = func(r *rp.Result) { cache.SetVRPs(r.VRPs) }
 	}
 
@@ -236,6 +285,68 @@ func validateFlags(maxRetries int, requestTimeout time.Duration, breakerThreshol
 		return fmt.Errorf("-breaker-cooldown must be positive, got %v", breakerCooldown)
 	}
 	return nil
+}
+
+// validateRTRFlags rejects nonsensical RTR fleet tunings at startup, before
+// the TAL is touched. A negative client cap, an empty send queue, or a
+// non-positive write timeout would each disable a slow-consumer defense the
+// operator asked for; a replica with no RTR listener would follow a primary
+// to no purpose.
+func validateRTRFlags(rtrAddr string, maxClients, sendQueue int, writeTimeout time.Duration, replicaOf, replicationListen string) error {
+	if maxClients < 0 {
+		return fmt.Errorf("-rtr-max-clients must be >= 0, got %d", maxClients)
+	}
+	if sendQueue < 1 {
+		return fmt.Errorf("-rtr-send-queue must be >= 1, got %d", sendQueue)
+	}
+	if writeTimeout <= 0 {
+		return fmt.Errorf("-rtr-write-timeout must be positive, got %v", writeTimeout)
+	}
+	if replicaOf != "" {
+		if rtrAddr == "" {
+			return fmt.Errorf("-rtr-replica-of requires -rtr: a replica exists to serve routers")
+		}
+		if replicationListen != "" {
+			return fmt.Errorf("-rtr-replica-of and -rtr-replication-listen are mutually exclusive: a frontend mirrors, a primary streams")
+		}
+	}
+	return nil
+}
+
+// runReplica is the stateless-frontend main loop: mirror the primary's
+// cache over the replication stream and serve RTR from it, reconnecting
+// (and resuming from the mirrored serial) until interrupted.
+func runReplica(primary, rtrAddr, opsListen string, maxClients, sendQueue int, writeTimeout time.Duration) {
+	cache := rtr.NewCache(0) // the first snapshot adopts the primary's session
+	rep := rtr.NewReplica(primary, cache)
+	if opsListen != "" {
+		hub := obs.NewHub(nil)
+		cache.Instrument(hub)
+		rep.Instrument(hub)
+		ops, err := hub.ServeOps(opsListen)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = ops.Close() }()
+		fmt.Printf("ops server on %s\n", ops.Addr())
+	}
+	srv := rtr.NewServer(cache)
+	srv.MaxClients = maxClients
+	srv.SendQueue = sendQueue
+	srv.WriteTimeout = writeTimeout
+	bound, err := srv.Listen(rtrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("replica RTR frontend on %s, following %s\n", bound, primary)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := rep.Run(ctx); err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	fmt.Println("shutting down")
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ var boundedDecodePackages = []string{
 	"internal/manifest",
 	"internal/roa",
 	"internal/rfc3779",
+	"internal/rtr",
 }
 
 func decoderPackage(path string) bool {

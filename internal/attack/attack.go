@@ -355,5 +355,6 @@ func Scenarios() []Scenario {
 	all = append(all, stallScenarios()...)
 	all = append(all, exhaustScenarios()...)
 	all = append(all, mutateScenarios()...)
+	all = append(all, rtrScenarios()...)
 	return all
 }

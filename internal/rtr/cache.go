@@ -1,0 +1,571 @@
+package rtr
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rov"
+)
+
+// delta records one cache update: the announce/withdraw sets plus their
+// precomputed wire encoding, shared read-only by every connection that
+// replays this delta.
+type delta struct {
+	serial    uint32
+	announced []rov.VRP
+	withdrawn []rov.VRP
+	// frame is the delta's prefix PDUs (announces then withdraws),
+	// serialized once at update time. Immutable after creation.
+	frame []byte
+	// createdAt stamps when the delta entered the cache, anchoring the
+	// delta-propagation latency histogram. Immutable after creation.
+	createdAt time.Time
+}
+
+func (d *delta) vrpCount() int { return len(d.announced) + len(d.withdrawn) }
+
+// numSubShards splits the subscriber table N ways so a cache update fans
+// out over N short critical sections instead of one walk of a giant map
+// under one lock. 32 shards keep the per-shard walk under ~350 entries
+// even at 10k clients.
+const numSubShards = 32
+
+// subscriber is one connection's notification handle. Serial notifies are
+// coalesced: pending always holds the latest serial and wake is a 1-slot
+// doorbell, so a subscriber that has not drained yet absorbs any number of
+// updates at zero queue growth — a slow consumer can never make the cache
+// buffer per-client notify backlogs.
+type subscriber struct {
+	peer string
+	// pending is the latest serial to announce (read with Load after a
+	// wake). Writing pending then ringing wake is the only publish order.
+	pending atomic.Uint32
+	// wake is the 1-slot doorbell; a failed send means the subscriber is
+	// already scheduled to look at pending.
+	wake chan struct{}
+	// queueDepth reports the owning connection's send-queue depth for the
+	// scrape-time gauges (nil for connections without a queue).
+	queueDepth func() int
+}
+
+// offer publishes serial to the subscriber, coalescing with any
+// not-yet-consumed notify.
+func (s *subscriber) offer(serial uint32) {
+	s.pending.Store(serial)
+	select {
+	case s.wake <- struct{}{}:
+	default: // doorbell already rung; the pending serial is the newest
+	}
+}
+
+// subShard is one slice of the subscriber table with its own lock.
+type subShard struct {
+	mu sync.Mutex
+	// subs holds this shard's live subscribers. guarded by mu.
+	subs map[*subscriber]struct{}
+}
+
+// propRingSize bounds the serial→creation-time ring used by the
+// propagation-latency histogram; lookups are O(1) under a read lock so 10k
+// clients observing one delta never contend on the cache's main mutex.
+const propRingSize = 256
+
+type propEntry struct {
+	serial uint32
+	at     time.Time
+}
+
+// Cache is the server-side VRP database with serial-numbered history.
+//
+// Serving is zero-copy: each serial's full snapshot and each delta carry a
+// precomputed, immutable frame of serialized prefix PDUs, built once per
+// update and written verbatim to every client — N routers asking for the
+// same data cost N writes, not N serializations. The delta history is
+// bounded by entry count, total VRP count, and total frame bytes, so a
+// long-lived server's memory stays flat no matter how many updates it has
+// seen; a client whose serial predates the retained window gets a Cache
+// Reset and reloads the snapshot.
+//
+// The subscriber table is sharded numSubShards ways: SetVRPs walks N small
+// maps under N short locks instead of one giant map under the cache lock,
+// so notify fan-out to 10k+ connections never serializes behind state
+// updates (and vice versa).
+type Cache struct {
+	mu sync.Mutex
+	// Session and serial state. guarded by mu.
+	session uint16
+	serial  uint32
+	// vrps is the current set in canonical order (rov.SortVRPs), duplicate-
+	// free; snapFrame is its precomputed wire encoding. Both are replaced,
+	// never mutated, so connections may hold the retrieved slices outside
+	// the lock; the fields themselves are guarded by mu.
+	vrps      []rov.VRP
+	snapFrame []byte
+	// Delta history and its size accounting. guarded by mu.
+	history   []delta
+	histVRPs  int
+	histBytes int
+	// History bounds: entries, total VRPs, total frame bytes. guarded by mu.
+	maxHist      int
+	maxHistVRPs  int
+	maxHistBytes int
+
+	// Subscriber table, sharded; each shard carries its own lock.
+	shards    [numSubShards]subShard
+	nextShard atomic.Uint32
+
+	// propMu guards propRing: the fixed serial→createdAt ring feeding the
+	// propagation histogram without touching mu on the per-client path.
+	propMu   sync.RWMutex
+	propRing [propRingSize]propEntry
+
+	// met holds metric handles registered by Instrument (nil pointer when
+	// uninstrumented); atomic so hot paths never lock to reach a counter.
+	met atomic.Pointer[rtrMetrics]
+}
+
+// Default history bounds: plenty for steady-state polling, small enough
+// that a churn storm cannot balloon a long-lived server.
+const (
+	defaultMaxHist      = 64
+	defaultMaxHistVRPs  = 1 << 16
+	defaultMaxHistBytes = 1 << 20
+)
+
+// NewCache creates an empty cache with the given session ID.
+func NewCache(session uint16) *Cache {
+	c := &Cache{
+		session:      session,
+		maxHist:      defaultMaxHist,
+		maxHistVRPs:  defaultMaxHistVRPs,
+		maxHistBytes: defaultMaxHistBytes,
+	}
+	for i := range c.shards {
+		//lint:ignore guardedby the cache is not yet published to any other goroutine
+		c.shards[i].subs = make(map[*subscriber]struct{})
+	}
+	return c
+}
+
+// SetHistoryLimits bounds the retained delta history by entry count, total
+// VRP count, and total precomputed frame bytes. Arguments <= 0 keep the
+// current value. Clients older than the retained window fall back to a full
+// snapshot reload via Cache Reset.
+func (c *Cache) SetHistoryLimits(entries, vrps, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if entries > 0 {
+		c.maxHist = entries
+	}
+	if vrps > 0 {
+		c.maxHistVRPs = vrps
+	}
+	if bytes > 0 {
+		c.maxHistBytes = bytes
+	}
+	c.evictLocked()
+}
+
+// HistoryStats reports the retained history's size (for observability and
+// tests of the memory bound).
+func (c *Cache) HistoryStats() (entries, vrps, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.history), c.histVRPs, c.histBytes
+}
+
+// Serial returns the current serial number.
+func (c *Cache) Serial() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// Session returns the cache's session ID.
+func (c *Cache) Session() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Len returns the number of VRPs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vrps)
+}
+
+// StateDigest hashes the cache's externally visible state — session,
+// serial, and the serialized snapshot frame. Two caches with equal digests
+// serve byte-identical snapshots under the same session and serial; the
+// bench equivalence gate compares a replica frontend against its primary
+// with exactly this.
+func (c *Cache) StateDigest() [32]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := sha256.New()
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[0:], c.session)
+	binary.BigEndian.PutUint32(hdr[2:], c.serial)
+	h.Write(hdr[:])
+	h.Write(c.snapFrame)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// encodeVRPs appends the prefix PDUs for vrps (with the given flags) to buf.
+func encodeVRPs(buf []byte, vrps []rov.VRP, flags uint8) []byte {
+	for _, v := range vrps {
+		typ := uint8(TypeIPv4Prefix)
+		if v.Prefix.Family().Width() == 128 {
+			typ = TypeIPv6Prefix
+		}
+		b, err := (&PDU{Type: typ, Flags: flags, VRP: v}).Marshal()
+		if err != nil {
+			continue // unencodable VRP (cannot happen for valid prefixes)
+		}
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// normalizeVRPs copies, canonically sorts, and deduplicates vrps, dropping
+// invalid prefixes.
+func normalizeVRPs(vrps []rov.VRP) []rov.VRP {
+	next := make([]rov.VRP, 0, len(vrps))
+	for _, v := range vrps {
+		if v.Prefix.IsValid() {
+			next = append(next, v)
+		}
+	}
+	rov.SortVRPs(next)
+	// Deduplicate (canonical order makes duplicates adjacent).
+	dedup := next[:0]
+	for i, v := range next {
+		if i == 0 || v.Compare(next[i-1]) != 0 {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// SetVRPs replaces the cache contents. The input is normalized (copied,
+// sorted canonically, deduplicated), diffed against the previous state in
+// one linear merge, and — only if anything changed — the serial is bumped,
+// the delta and snapshot frames are serialized once, and subscribed
+// connections are notified. An unchanged set is a true no-op: no
+// allocation, no serial bump, no notification, which is what makes the
+// relying party's steady-state polling loop end in silence here.
+func (c *Cache) SetVRPs(vrps []rov.VRP) {
+	next := normalizeVRPs(vrps)
+
+	c.mu.Lock()
+	announced, withdrawn := rov.DiffVRPs(c.vrps, next)
+	if len(announced) == 0 && len(withdrawn) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	serial := c.commitLocked(c.serial+1, next, announced, withdrawn)
+	c.mu.Unlock()
+	c.notifyAll(serial)
+}
+
+// commitLocked installs next as the current set at the given serial,
+// appends the delta to the bounded history, and rebuilds the shared
+// snapshot frame. Callers hold c.mu; they must call notifyAll(serial)
+// after unlocking.
+func (c *Cache) commitLocked(serial uint32, next, announced, withdrawn []rov.VRP) uint32 {
+	c.serial = serial
+	d := delta{serial: serial, announced: announced, withdrawn: withdrawn, createdAt: time.Now()}
+	if met := c.met.Load(); met != nil {
+		met.updates.Inc()
+	}
+	frame := make([]byte, 0, 20*d.vrpCount())
+	frame = encodeVRPs(frame, announced, FlagAnnounce)
+	frame = encodeVRPs(frame, withdrawn, 0)
+	d.frame = frame
+	c.vrps = next
+	c.snapFrame = encodeVRPs(make([]byte, 0, 20*len(next)), next, FlagAnnounce)
+	c.history = append(c.history, d)
+	c.histVRPs += d.vrpCount()
+	c.histBytes += len(d.frame)
+	c.evictLocked()
+	c.recordPropTime(serial, d.createdAt)
+	return serial
+}
+
+// applySnapshot installs a replicated full state: session and serial are
+// adopted verbatim from the primary (so routers can resume against any
+// frontend), the history is cleared (this cache cannot replay deltas that
+// predate its own snapshot — out-of-window routers get Cache Reset), and
+// subscribers are notified of the new serial.
+func (c *Cache) applySnapshot(session uint16, serial uint32, vrps []rov.VRP) {
+	next := normalizeVRPs(vrps)
+	c.mu.Lock()
+	c.session = session
+	c.serial = serial
+	c.vrps = next
+	c.snapFrame = encodeVRPs(make([]byte, 0, 20*len(next)), next, FlagAnnounce)
+	c.history = nil
+	c.histVRPs, c.histBytes = 0, 0
+	c.mu.Unlock()
+	c.notifyAll(serial)
+}
+
+// applyDelta installs one replicated delta. The serial must be exactly the
+// next one (ok=false otherwise — the follower missed a frame and must
+// resynchronize); a serial at or below the current one is a duplicate
+// replay and is ignored (ok=true), which is what makes reconnect replays
+// harmless.
+func (c *Cache) applyDelta(serial uint32, announced, withdrawn []rov.VRP) bool {
+	announced = normalizeVRPs(announced)
+	withdrawn = normalizeVRPs(withdrawn)
+	c.mu.Lock()
+	switch {
+	case serial <= c.serial && c.serial-serial < 1<<31: // duplicate (serial-arithmetic tolerant)
+		c.mu.Unlock()
+		return true
+	case serial != c.serial+1:
+		c.mu.Unlock()
+		return false
+	}
+	next := mergeApply(c.vrps, announced, withdrawn)
+	c.commitLocked(serial, next, announced, withdrawn)
+	c.mu.Unlock()
+	c.notifyAll(serial)
+	return true
+}
+
+// mergeApply computes (base \ withdrawn) ∪ announced in one linear pass.
+// All three inputs are canonically sorted and duplicate-free; the result is
+// too.
+func mergeApply(base, announced, withdrawn []rov.VRP) []rov.VRP {
+	out := make([]rov.VRP, 0, len(base)+len(announced))
+	i, w := 0, 0
+	for _, v := range base {
+		for w < len(withdrawn) && withdrawn[w].Compare(v) < 0 {
+			w++
+		}
+		if w < len(withdrawn) && withdrawn[w].Compare(v) == 0 {
+			continue // withdrawn
+		}
+		for i < len(announced) && announced[i].Compare(v) < 0 {
+			out = append(out, announced[i])
+			i++
+		}
+		if i < len(announced) && announced[i].Compare(v) == 0 {
+			i++ // replaced by identical announce
+		}
+		out = append(out, v)
+	}
+	out = append(out, announced[i:]...)
+	return out
+}
+
+// evictLocked drops the oldest deltas until the history fits every bound.
+// Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for len(c.history) > 0 &&
+		(len(c.history) > c.maxHist || c.histVRPs > c.maxHistVRPs || c.histBytes > c.maxHistBytes) {
+		d := &c.history[0]
+		c.histVRPs -= d.vrpCount()
+		c.histBytes -= len(d.frame)
+		c.history = c.history[1:]
+	}
+}
+
+// snapshotFrame returns the current serial, session, and the shared
+// serialized snapshot frame. The frame is immutable; callers write it
+// as-is.
+func (c *Cache) snapshotFrame() (frame []byte, serial uint32, session uint16) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapFrame, c.serial, c.session
+}
+
+// snapshotVRPs returns the current canonical VRP slice (immutable; replaced
+// wholesale on update), serial, and session.
+func (c *Cache) snapshotVRPs() (vrps []rov.VRP, serial uint32, session uint16) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vrps, c.serial, c.session
+}
+
+// deltaFrames returns the shared serialized frames of every delta after
+// serial, oldest first, or ok=false if that serial has aged out of the
+// history window. The frames are immutable; callers write them as-is.
+func (c *Cache) deltaFrames(serial uint32) (frames [][]byte, current uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serial == c.serial {
+		return nil, c.serial, true
+	}
+	found := false
+	for i := range c.history {
+		d := &c.history[i]
+		if found || d.serial == serial+1 {
+			found = true
+			frames = append(frames, d.frame)
+		}
+	}
+	if !found {
+		return nil, c.serial, false
+	}
+	return frames, c.serial, true
+}
+
+// deltaEntries returns the deltas after serial, oldest first (slice headers
+// copied; the VRP slices are shared read-only), or ok=false if that serial
+// has aged out of the history window.
+func (c *Cache) deltaEntries(serial uint32) (entries []delta, current uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serial == c.serial {
+		return nil, c.serial, true
+	}
+	found := false
+	for i := range c.history {
+		d := &c.history[i]
+		if found || d.serial == serial+1 {
+			found = true
+			entries = append(entries, *d)
+		}
+	}
+	if !found {
+		return nil, c.serial, false
+	}
+	return entries, c.serial, true
+}
+
+// deltasSince returns the concatenated deltas after serial, or ok=false if
+// that serial has aged out of the history window.
+func (c *Cache) deltasSince(serial uint32) (announced, withdrawn []rov.VRP, current uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serial == c.serial {
+		return nil, nil, c.serial, true
+	}
+	found := false
+	for _, d := range c.history {
+		if found || d.serial == serial+1 {
+			found = true
+			announced = append(announced, d.announced...)
+			withdrawn = append(withdrawn, d.withdrawn...)
+		}
+	}
+	// The requested serial must be exactly one before the first delta we
+	// replayed; otherwise the client is out of window.
+	if !found {
+		return nil, nil, c.serial, false
+	}
+	return announced, withdrawn, c.serial, true
+}
+
+// subscribe registers a notification handle for one connection.
+// queueDepth, when non-nil, reports the connection's send-queue depth to
+// the scrape-time gauges. Subscribers are spread round-robin over the
+// shards.
+func (c *Cache) subscribe(peer string, queueDepth func() int) *subscriber {
+	sub := &subscriber{peer: peer, wake: make(chan struct{}, 1), queueDepth: queueDepth}
+	shard := &c.shards[c.nextShard.Add(1)%numSubShards]
+	shard.mu.Lock()
+	shard.subs[sub] = struct{}{}
+	shard.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a notification handle.
+func (c *Cache) unsubscribe(sub *subscriber) {
+	for i := range c.shards {
+		shard := &c.shards[i]
+		shard.mu.Lock()
+		if _, ok := shard.subs[sub]; ok {
+			delete(shard.subs, sub)
+			shard.mu.Unlock()
+			return
+		}
+		shard.mu.Unlock()
+	}
+}
+
+// notifyAll publishes serial to every subscriber, shard by shard. Each
+// offer is a store plus a non-blocking doorbell ring, so the walk holds
+// each shard lock only briefly and a wedged connection costs nothing.
+func (c *Cache) notifyAll(serial uint32) {
+	for i := range c.shards {
+		shard := &c.shards[i]
+		shard.mu.Lock()
+		for sub := range shard.subs {
+			sub.offer(serial)
+		}
+		shard.mu.Unlock()
+	}
+}
+
+// subscriberCount returns the number of registered subscribers.
+func (c *Cache) subscriberCount() int {
+	n := 0
+	for i := range c.shards {
+		shard := &c.shards[i]
+		shard.mu.Lock()
+		n += len(shard.subs)
+		shard.mu.Unlock()
+	}
+	return n
+}
+
+// queueDepthStats sums and maxes the per-connection send-queue depths.
+func (c *Cache) queueDepthStats() (total, maxDepth int) {
+	for i := range c.shards {
+		shard := &c.shards[i]
+		shard.mu.Lock()
+		for sub := range shard.subs {
+			if sub.queueDepth == nil {
+				continue
+			}
+			d := sub.queueDepth()
+			total += d
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		shard.mu.Unlock()
+	}
+	return total, maxDepth
+}
+
+// recordPropTime stamps a serial's creation time in the fixed ring.
+// Callers hold c.mu; the ring has its own lock so readers never touch mu.
+func (c *Cache) recordPropTime(serial uint32, at time.Time) {
+	c.propMu.Lock()
+	c.propRing[serial%propRingSize] = propEntry{serial: serial, at: at}
+	c.propMu.Unlock()
+}
+
+// deltaCreatedAt returns when the delta with the given serial entered the
+// cache (ok=false if it aged out of the ring).
+func (c *Cache) deltaCreatedAt(serial uint32) (time.Time, bool) {
+	c.propMu.RLock()
+	e := c.propRing[serial%propRingSize]
+	c.propMu.RUnlock()
+	if e.serial != serial || e.at.IsZero() {
+		return time.Time{}, false
+	}
+	return e.at, true
+}
+
+// observePropagation records one client's notify latency for the delta
+// with the given serial (no-op when uninstrumented or aged out).
+func (c *Cache) observePropagation(serial uint32) {
+	met := c.met.Load()
+	if met == nil {
+		return
+	}
+	if at, ok := c.deltaCreatedAt(serial); ok {
+		met.propagation.Observe(time.Since(at).Seconds())
+	}
+}

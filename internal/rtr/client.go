@@ -13,16 +13,27 @@ import (
 
 // Client is the router side of the RTR protocol: it maintains a local copy
 // of the cache's VRPs and keeps it current via serial queries.
+//
+// Run may be called again after it returns (the connection dropped): a
+// client that has synced at least once resumes its session with a serial
+// query, replaying only the deltas it missed; the server answers Cache
+// Reset — and the client falls back to a full snapshot reload — when the
+// session changed or the serial aged out of the server's history window.
+// Delta application is idempotent (announce = set, withdraw = delete), so a
+// delta replayed across a reconnect race can never skip or duplicate state.
 type Client struct {
 	addr string
 
 	mu sync.Mutex
 	// Local VRP copy and sync state. guarded by mu.
-	vrps    map[rov.VRP]bool
-	serial  uint32
-	session uint16
-	synced  bool
-	onSync  func([]rov.VRP)
+	vrps     map[rov.VRP]bool
+	serial   uint32
+	session  uint16
+	synced   bool
+	resumes  uint64
+	reloads  uint64
+	onSync   func([]rov.VRP)
+	onSerial func(uint32)
 }
 
 // NewClient creates a client for the RTR server at addr.
@@ -31,11 +42,21 @@ func NewClient(addr string) *Client {
 }
 
 // OnSync registers a callback invoked with the full VRP set after every
-// completed update.
+// completed update. Building the sorted set costs O(n) per update; at
+// fleet-scale fan-out prefer OnSerial and read VRPs() when needed.
 func (c *Client) OnSync(fn func([]rov.VRP)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onSync = fn
+}
+
+// OnSerial registers a callback invoked with the new serial after every
+// completed update — constant-cost, for latency measurement and
+// convergence barriers over many clients.
+func (c *Client) OnSerial(fn func(uint32)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onSerial = fn
 }
 
 // VRPs returns the current VRP set, in canonical order.
@@ -64,9 +85,27 @@ func (c *Client) Synced() bool {
 	return c.synced
 }
 
-// Run connects and synchronizes until ctx is canceled. It performs an
-// initial reset query, then reacts to serial notifies with serial queries.
-// Run returns the first fatal error, or ctx.Err() on cancellation.
+// Resumes reports reconnects that picked up via serial query (session
+// resumption); Reloads reports full snapshot loads (first sync, cache
+// resets).
+func (c *Client) Resumes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumes
+}
+
+// Reloads reports completed full snapshot reloads.
+func (c *Client) Reloads() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reloads
+}
+
+// Run connects and synchronizes until ctx is canceled. A first-time client
+// performs an initial reset query; a client with prior synced state resumes
+// with a serial query instead. It then reacts to serial notifies with
+// serial queries. Run returns the first fatal error, or ctx.Err() on
+// cancellation; calling Run again reconnects and resumes.
 func (c *Client) Run(ctx context.Context) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
@@ -89,12 +128,27 @@ func (c *Client) Run(ctx context.Context) error {
 	if err := armWrite(); err != nil {
 		return fmt.Errorf("rtr: arming write deadline: %w", err)
 	}
-	if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
-		return fmt.Errorf("rtr: reset query: %w", err)
+	c.mu.Lock()
+	resume := c.synced
+	serial, session := c.serial, c.session
+	c.mu.Unlock()
+	if resume {
+		// Session resumption: ask only for what we missed. The server
+		// replies with the missed deltas, or Cache Reset if our serial
+		// aged out of its history window.
+		if err := WritePDU(conn, &PDU{Type: TypeSerialQuery, Session: session, Serial: serial}); err != nil {
+			return fmt.Errorf("rtr: resume serial query: %w", err)
+		}
+	} else {
+		if err := WritePDU(conn, &PDU{Type: TypeResetQuery}); err != nil {
+			return fmt.Errorf("rtr: reset query: %w", err)
+		}
 	}
-	staging := make(map[rov.VRP]bool)
+	// staging holds the set being rebuilt during a full reload; incremental
+	// responses apply in place (idempotently) instead of copying the set.
+	var staging map[rov.VRP]bool
 	inResponse := false
-	fullReload := true
+	fullReload := !resume
 
 	for {
 		p, err := ReadPDU(r)
@@ -109,24 +163,31 @@ func (c *Client) Run(ctx context.Context) error {
 			inResponse = true
 			c.mu.Lock()
 			c.session = p.Session
+			c.mu.Unlock()
 			if fullReload {
 				staging = make(map[rov.VRP]bool)
 			} else {
-				staging = make(map[rov.VRP]bool, len(c.vrps))
-				for v := range c.vrps {
-					staging[v] = true
-				}
+				staging = nil
 			}
-			c.mu.Unlock()
 
 		case TypeIPv4Prefix, TypeIPv6Prefix:
 			if !inResponse {
 				return fmt.Errorf("rtr: prefix PDU outside cache response")
 			}
-			if p.Flags&FlagAnnounce != 0 {
-				staging[p.VRP] = true
+			if staging != nil {
+				if p.Flags&FlagAnnounce != 0 {
+					staging[p.VRP] = true
+				} else {
+					delete(staging, p.VRP)
+				}
 			} else {
-				delete(staging, p.VRP)
+				c.mu.Lock()
+				if p.Flags&FlagAnnounce != 0 {
+					c.vrps[p.VRP] = true
+				} else {
+					delete(c.vrps, p.VRP)
+				}
+				c.mu.Unlock()
 			}
 
 		case TypeEndOfData:
@@ -134,17 +195,27 @@ func (c *Client) Run(ctx context.Context) error {
 				return fmt.Errorf("rtr: end of data outside cache response")
 			}
 			inResponse = false
-			fullReload = false
 			c.mu.Lock()
-			c.vrps = staging
+			if staging != nil {
+				c.vrps = staging
+				c.reloads++
+			} else if resume {
+				c.resumes++
+				resume = false // count the resumption once
+			}
+			fullReload = false
 			c.serial = p.Serial
 			c.synced = true
-			cb := c.onSync
+			cbSync := c.onSync
+			cbSerial := c.onSerial
 			c.mu.Unlock()
-			if cb != nil {
-				cb(c.VRPs())
+			if cbSerial != nil {
+				cbSerial(p.Serial)
 			}
-			staging = make(map[rov.VRP]bool)
+			if cbSync != nil {
+				cbSync(c.VRPs())
+			}
+			staging = nil
 
 		case TypeSerialNotify:
 			c.mu.Lock()
@@ -162,6 +233,7 @@ func (c *Client) Run(ctx context.Context) error {
 
 		case TypeCacheReset:
 			fullReload = true
+			resume = false
 			if err := armWrite(); err != nil {
 				return fmt.Errorf("rtr: arming write deadline: %w", err)
 			}

@@ -1,22 +1,31 @@
 package rtr
 
-// Observability wiring for the RTR cache and server: connected-client and
-// queue-depth gauges collected at scrape time (the fan-out hot path is
-// untouched), an update counter, and a delta-propagation latency histogram
-// measuring SetVRPs-to-router-notified per client — the metric a Stalloris
-// victim would watch climb.
+// Observability wiring for the RTR cache, server, and replication plane:
+// connected-client and queue-depth gauges collected at scrape time (the
+// fan-out hot path is untouched), counters for updates, evictions,
+// rejections, resumptions, and cache resets, and a delta-propagation
+// latency histogram measuring SetVRPs-to-router-notified per client — the
+// metric a Stalloris victim would watch climb.
 
 import (
-	"time"
-
 	"repro/internal/obs"
 )
 
-// rtrMetrics holds the cache's metric handles (nil when uninstrumented;
-// every update is then a nil-receiver no-op).
+// rtrMetrics holds the cache's metric handles; the cache carries it behind
+// an atomic pointer (nil when uninstrumented) so hot paths reach a counter
+// without locking.
 type rtrMetrics struct {
 	updates     *obs.Counter
 	propagation *obs.Histogram
+	// evictions counts slow-consumer terminations, labeled by reason
+	// ("write-stall", "queue-full").
+	evictions   *obs.CounterVec
+	rejections  *obs.Counter
+	resumptions *obs.Counter
+	cacheResets *obs.Counter
+	// Replication-plane counters (primary side).
+	replSnapshots   *obs.Counter
+	replResumptions *obs.Counter
 }
 
 // Instrument registers the cache's metrics on the hub. Call once, before
@@ -32,76 +41,33 @@ func (c *Cache) Instrument(hub *obs.Hub) {
 		propagation: r.Histogram("rpki_rtr_delta_propagation_seconds",
 			"Latency from a VRP delta entering the cache to a client's serial notify being flushed.",
 			obs.DurationBuckets()),
+		evictions: r.CounterVec("rpki_rtr_evictions_total",
+			"Connections terminated for slow consumption, by reason.", "reason"),
+		rejections: r.Counter("rpki_rtr_rejections_total",
+			"Connections refused over the MaxClients cap."),
+		resumptions: r.Counter("rpki_rtr_resumptions_total",
+			"Reconnecting clients that resumed their session from the delta history."),
+		cacheResets: r.Counter("rpki_rtr_cache_resets_total",
+			"Serial queries answered with Cache Reset (session mismatch or serial out of window)."),
+		replSnapshots: r.Counter("rpki_rtr_replication_snapshots_total",
+			"Full snapshots streamed to replica frontends."),
+		replResumptions: r.Counter("rpki_rtr_replication_resumptions_total",
+			"Replica frontends that resumed from their serial without a snapshot."),
 	}
 	r.GaugeFunc("rpki_rtr_connected_clients", "RTR connections currently served.",
-		func() float64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(len(c.subs))
-		})
+		func() float64 { return float64(c.subscriberCount()) })
 	r.GaugeFunc("rpki_rtr_serial", "Current cache serial number.",
-		func() float64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(c.serial)
-		})
+		func() float64 { return float64(c.Serial()) })
 	r.GaugeFunc("rpki_rtr_vrps", "VRPs currently served by the cache.",
-		func() float64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(len(c.vrps))
-		})
-	r.CollectGauges("rpki_rtr_client_queue_depth",
-		"Pending serial notifies per connected client.",
-		[]string{"client"}, func(emit obs.Emit) {
-			c.mu.Lock()
-			type sub struct {
-				peer  string
-				depth int
-			}
-			subs := make([]sub, 0, len(c.subs))
-			for ch, peer := range c.subs {
-				subs = append(subs, sub{peer, len(ch)})
-			}
-			c.mu.Unlock()
-			for _, s := range subs {
-				emit(float64(s.depth), s.peer)
-			}
-		})
-	c.mu.Lock()
-	c.met = met
-	c.mu.Unlock()
-}
-
-// metrics returns the handle struct under the lock discipline SetVRPs and
-// handle already follow (nil when uninstrumented).
-func (c *Cache) metrics() *rtrMetrics {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.met
-}
-
-// deltaCreatedAt returns when the delta with the given serial entered the
-// cache (ok=false if it aged out of the history window).
-func (c *Cache) deltaCreatedAt(serial uint32) (time.Time, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.history {
-		if c.history[i].serial == serial {
-			return c.history[i].createdAt, true
-		}
-	}
-	return time.Time{}, false
-}
-
-// observePropagation records one client's notify latency for the delta
-// with the given serial (no-op when uninstrumented or aged out).
-func (c *Cache) observePropagation(serial uint32) {
-	met := c.metrics()
-	if met == nil {
-		return
-	}
-	if at, ok := c.deltaCreatedAt(serial); ok {
-		met.propagation.Observe(time.Since(at).Seconds())
-	}
+		func() float64 { return float64(c.Len()) })
+	// Aggregate queue-depth gauges: per-client labels would mint 10k+ label
+	// values at fleet scale, so the scrape reports the sum and the worst
+	// consumer instead.
+	r.GaugeFunc("rpki_rtr_send_queue_depth_total",
+		"Sum of pending responses across all connection send queues.",
+		func() float64 { total, _ := c.queueDepthStats(); return float64(total) })
+	r.GaugeFunc("rpki_rtr_send_queue_depth_max",
+		"Deepest single connection send queue (the slowest consumer).",
+		func() float64 { _, max := c.queueDepthStats(); return float64(max) })
+	c.met.Store(met)
 }

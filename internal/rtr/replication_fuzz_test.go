@@ -1,0 +1,88 @@
+package rtr
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ipres"
+	"repro/internal/rov"
+)
+
+// FuzzReplicationRead drives the replication-stream decoder with arbitrary
+// wire bytes. A replica frontend reads this stream from a primary it may
+// not fully trust (a compromised validator is exactly the paper's threat),
+// so a malformed frame must produce an error, never a panic or an
+// unbounded allocation — the frame reader checks the declared length
+// against MaxReplicationPayload before allocating, and the payload parsers
+// validate record counts against the actual payload size. A frame that
+// decodes must survive an encode/re-decode round trip.
+func FuzzReplicationRead(f *testing.F) {
+	vrps := []rov.VRP{
+		{Prefix: ipres.MustParsePrefix("63.160.0.0/12"), MaxLength: 13, ASN: 1239},
+		{Prefix: ipres.MustParsePrefix("2001:db8::/32"), MaxLength: 48, ASN: 64500},
+	}
+	f.Add(AppendHelloFrame(nil, ReplHello{Session: 7, Serial: 42, HaveState: true}))
+	f.Add(AppendSnapshotFrame(nil, 7, 42, vrps))
+	f.Add(AppendSnapshotFrame(nil, 0, 0, nil))
+	f.Add(AppendDeltaFrame(nil, 43, vrps[:1], vrps[1:]))
+	f.Add(AppendDeltaFrame(nil, 44, nil, nil))
+	// Truncated header, bad magic, absurd declared length.
+	f.Add([]byte{replMagic, replVersion, ReplTypeDelta})
+	f.Add([]byte{'X', replVersion, ReplTypeHello, 0, 0, 0, 0, 7})
+	f.Add([]byte{replMagic, replVersion, ReplTypeSnapshot, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadReplicationFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		switch typ {
+		case ReplTypeHello:
+			h, err := ParseReplicationHello(payload)
+			if err != nil {
+				return
+			}
+			buf := AppendHelloFrame(nil, h)
+			typ2, payload2, err := ReadReplicationFrame(bytes.NewReader(buf))
+			if err != nil || typ2 != ReplTypeHello {
+				t.Fatalf("hello re-read failed: %v", err)
+			}
+			if h2, err := ParseReplicationHello(payload2); err != nil || h2 != h {
+				t.Fatalf("hello round trip changed: %+v vs %+v (%v)", h, h2, err)
+			}
+		case ReplTypeSnapshot:
+			session, serial, got, err := ParseReplicationSnapshot(payload)
+			if err != nil {
+				return
+			}
+			buf := AppendSnapshotFrame(nil, session, serial, got)
+			_, payload2, err := ReadReplicationFrame(bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("snapshot re-read failed: %v", err)
+			}
+			s2, ser2, got2, err := ParseReplicationSnapshot(payload2)
+			if err != nil || s2 != session || ser2 != serial || len(got2) != len(got) {
+				t.Fatalf("snapshot round trip changed: %v", err)
+			}
+			for i := range got {
+				if got2[i] != got[i] {
+					t.Fatalf("snapshot VRP %d changed: %v vs %v", i, got[i], got2[i])
+				}
+			}
+		case ReplTypeDelta:
+			serial, ann, wd, err := ParseReplicationDelta(payload)
+			if err != nil {
+				return
+			}
+			buf := AppendDeltaFrame(nil, serial, ann, wd)
+			_, payload2, err := ReadReplicationFrame(bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("delta re-read failed: %v", err)
+			}
+			ser2, ann2, wd2, err := ParseReplicationDelta(payload2)
+			if err != nil || ser2 != serial || len(ann2) != len(ann) || len(wd2) != len(wd) {
+				t.Fatalf("delta round trip changed: %v", err)
+			}
+		}
+	})
+}

@@ -283,12 +283,12 @@ func TestServerRejectsUnsupportedPDU(t *testing.T) {
 
 func TestCacheSubscribeNotify(t *testing.T) {
 	cache := NewCache(1)
-	ch := cache.subscribe("test")
-	defer cache.unsubscribe(ch)
+	sub := cache.subscribe("test", nil)
+	defer cache.unsubscribe(sub)
 	cache.SetVRPs([]rov.VRP{vrp("10.0.0.0/8", 8, 1)})
 	select {
-	case serial := <-ch:
-		if serial != 1 {
+	case <-sub.wake:
+		if serial := sub.pending.Load(); serial != 1 {
 			t.Errorf("serial = %d", serial)
 		}
 	case <-time.After(time.Second):

@@ -6,293 +6,103 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
-
-	"repro/internal/rov"
 )
 
-// delta records one cache update: the announce/withdraw sets plus their
-// precomputed wire encoding, shared read-only by every connection that
-// replays this delta.
-type delta struct {
-	serial    uint32
-	announced []rov.VRP
-	withdrawn []rov.VRP
-	// frame is the delta's prefix PDUs (announces then withdraws),
-	// serialized once at SetVRPs time. Immutable after creation.
-	frame []byte
-	// createdAt stamps when the delta entered the cache, anchoring the
-	// delta-propagation latency histogram. Immutable after creation.
-	createdAt time.Time
-}
+// writeTimeout is the default bound on one response batch (snapshot replay
+// included) to a client; RTR reads stay unbounded by design — clients
+// legitimately idle between serial queries and are pushed notifies instead.
+const writeTimeout = 30 * time.Second
 
-func (d *delta) vrpCount() int { return len(d.announced) + len(d.withdrawn) }
+// defaultSendQueue is the default per-connection response-queue capacity.
+// Notifies are coalesced outside this queue, so the queue only ever holds
+// query responses: a client with this many answers in flight is not
+// reading, and the next answer evicts it.
+const defaultSendQueue = 32
 
-// Cache is the server-side VRP database with serial-numbered history.
-//
-// Serving is zero-copy: each serial's full snapshot and each delta carry a
-// precomputed, immutable frame of serialized prefix PDUs, built once per
-// update and written verbatim to every client — N routers asking for the
-// same data cost N writes, not N serializations. The delta history is
-// bounded by entry count, total VRP count, and total frame bytes, so a
-// long-lived server's memory stays flat no matter how many updates it has
-// seen; a client whose serial predates the retained window gets a Cache
-// Reset and reloads the snapshot.
-type Cache struct {
-	mu sync.Mutex
-	// Session and serial state. guarded by mu.
-	session uint16
-	serial  uint32
-	// vrps is the current set in canonical order (rov.SortVRPs), duplicate-
-	// free; snapFrame is its precomputed wire encoding. Both are replaced,
-	// never mutated, so connections may hold the retrieved slices outside
-	// the lock; the fields themselves are guarded by mu.
-	vrps      []rov.VRP
-	snapFrame []byte
-	// Delta history and its size accounting. guarded by mu.
-	history   []delta
-	histVRPs  int
-	histBytes int
-	// History bounds: entries, total VRPs, total frame bytes. guarded by mu.
-	maxHist      int
-	maxHistVRPs  int
-	maxHistBytes int
-	// subs maps the notify channel of every live connection to its peer
-	// address (for per-client metrics). guarded by mu.
-	subs map[chan uint32]string
-	// met holds metric handles registered by Instrument (nil when
-	// uninstrumented). guarded by mu.
-	met *rtrMetrics
-}
-
-// Default history bounds: plenty for steady-state polling, small enough
-// that a churn storm cannot balloon a long-lived server.
+// Eviction reasons, recorded per eviction in the metrics.
 const (
-	defaultMaxHist      = 64
-	defaultMaxHistVRPs  = 1 << 16
-	defaultMaxHistBytes = 1 << 20
+	evictWriteStall = "write-stall"
+	evictQueueFull  = "queue-full"
 )
-
-// NewCache creates an empty cache with the given session ID.
-func NewCache(session uint16) *Cache {
-	return &Cache{
-		session:      session,
-		maxHist:      defaultMaxHist,
-		maxHistVRPs:  defaultMaxHistVRPs,
-		maxHistBytes: defaultMaxHistBytes,
-		subs:         make(map[chan uint32]string),
-	}
-}
-
-// SetHistoryLimits bounds the retained delta history by entry count, total
-// VRP count, and total precomputed frame bytes. Arguments <= 0 keep the
-// current value. Clients older than the retained window fall back to a full
-// snapshot reload via Cache Reset.
-func (c *Cache) SetHistoryLimits(entries, vrps, bytes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if entries > 0 {
-		c.maxHist = entries
-	}
-	if vrps > 0 {
-		c.maxHistVRPs = vrps
-	}
-	if bytes > 0 {
-		c.maxHistBytes = bytes
-	}
-	c.evictLocked()
-}
-
-// HistoryStats reports the retained history's size (for observability and
-// tests of the memory bound).
-func (c *Cache) HistoryStats() (entries, vrps, bytes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.history), c.histVRPs, c.histBytes
-}
-
-// Serial returns the current serial number.
-func (c *Cache) Serial() uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.serial
-}
-
-// Len returns the number of VRPs.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.vrps)
-}
-
-// encodeVRPs appends the prefix PDUs for vrps (with the given flags) to buf.
-func encodeVRPs(buf []byte, vrps []rov.VRP, flags uint8) []byte {
-	for _, v := range vrps {
-		typ := uint8(TypeIPv4Prefix)
-		if v.Prefix.Family().Width() == 128 {
-			typ = TypeIPv6Prefix
-		}
-		b, err := (&PDU{Type: typ, Flags: flags, VRP: v}).Marshal()
-		if err != nil {
-			continue // unencodable VRP (cannot happen for valid prefixes)
-		}
-		buf = append(buf, b...)
-	}
-	return buf
-}
-
-// SetVRPs replaces the cache contents. The input is normalized (copied,
-// sorted canonically, deduplicated), diffed against the previous state in
-// one linear merge, and — only if anything changed — the serial is bumped,
-// the delta and snapshot frames are serialized once, and subscribed
-// connections are notified. An unchanged set is a true no-op: no
-// allocation, no serial bump, no notification, which is what makes the
-// relying party's steady-state polling loop end in silence here.
-func (c *Cache) SetVRPs(vrps []rov.VRP) {
-	next := make([]rov.VRP, 0, len(vrps))
-	for _, v := range vrps {
-		if v.Prefix.IsValid() {
-			next = append(next, v)
-		}
-	}
-	rov.SortVRPs(next)
-	// Deduplicate (canonical order makes duplicates adjacent).
-	dedup := next[:0]
-	for i, v := range next {
-		if i == 0 || v.Compare(next[i-1]) != 0 {
-			dedup = append(dedup, v)
-		}
-	}
-	next = dedup
-
-	c.mu.Lock()
-	announced, withdrawn := rov.DiffVRPs(c.vrps, next)
-	if len(announced) == 0 && len(withdrawn) == 0 {
-		c.mu.Unlock()
-		return
-	}
-	c.serial++
-	d := delta{serial: c.serial, announced: announced, withdrawn: withdrawn, createdAt: time.Now()}
-	if c.met != nil {
-		c.met.updates.Inc()
-	}
-	frame := make([]byte, 0, 20*d.vrpCount())
-	frame = encodeVRPs(frame, announced, FlagAnnounce)
-	frame = encodeVRPs(frame, withdrawn, 0)
-	d.frame = frame
-	c.vrps = next
-	c.snapFrame = encodeVRPs(make([]byte, 0, 20*len(next)), next, FlagAnnounce)
-	c.history = append(c.history, d)
-	c.histVRPs += d.vrpCount()
-	c.histBytes += len(d.frame)
-	c.evictLocked()
-	serial := c.serial
-	subs := make([]chan uint32, 0, len(c.subs))
-	for ch := range c.subs {
-		subs = append(subs, ch)
-	}
-	c.mu.Unlock()
-	for _, ch := range subs {
-		select {
-		case ch <- serial:
-		default: // subscriber busy; it will catch up on its next query
-		}
-	}
-}
-
-// evictLocked drops the oldest deltas until the history fits every bound.
-// Callers hold c.mu.
-func (c *Cache) evictLocked() {
-	for len(c.history) > 0 &&
-		(len(c.history) > c.maxHist || c.histVRPs > c.maxHistVRPs || c.histBytes > c.maxHistBytes) {
-		d := &c.history[0]
-		c.histVRPs -= d.vrpCount()
-		c.histBytes -= len(d.frame)
-		c.history = c.history[1:]
-	}
-}
-
-// snapshotFrame returns the current serial, session, and the shared
-// serialized snapshot frame. The frame is immutable; callers write it
-// as-is.
-func (c *Cache) snapshotFrame() (frame []byte, serial uint32, session uint16) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.snapFrame, c.serial, c.session
-}
-
-// deltaFrames returns the shared serialized frames of every delta after
-// serial, oldest first, or ok=false if that serial has aged out of the
-// history window. The frames are immutable; callers write them as-is.
-func (c *Cache) deltaFrames(serial uint32) (frames [][]byte, current uint32, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if serial == c.serial {
-		return nil, c.serial, true
-	}
-	found := false
-	for i := range c.history {
-		d := &c.history[i]
-		if found || d.serial == serial+1 {
-			found = true
-			frames = append(frames, d.frame)
-		}
-	}
-	if !found {
-		return nil, c.serial, false
-	}
-	return frames, c.serial, true
-}
-
-// deltasSince returns the concatenated deltas after serial, or ok=false if
-// that serial has aged out of the history window.
-func (c *Cache) deltasSince(serial uint32) (announced, withdrawn []rov.VRP, current uint32, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if serial == c.serial {
-		return nil, nil, c.serial, true
-	}
-	found := false
-	for _, d := range c.history {
-		if found || d.serial == serial+1 {
-			found = true
-			announced = append(announced, d.announced...)
-			withdrawn = append(withdrawn, d.withdrawn...)
-		}
-	}
-	// The requested serial must be exactly one before the first delta we
-	// replayed; otherwise the client is out of window.
-	if !found {
-		return nil, nil, c.serial, false
-	}
-	return announced, withdrawn, c.serial, true
-}
-
-func (c *Cache) subscribe(peer string) chan uint32 {
-	ch := make(chan uint32, 4)
-	c.mu.Lock()
-	c.subs[ch] = peer
-	c.mu.Unlock()
-	return ch
-}
-
-func (c *Cache) unsubscribe(ch chan uint32) {
-	c.mu.Lock()
-	delete(c.subs, ch)
-	c.mu.Unlock()
-}
 
 // Server serves the RTR protocol for one cache.
+//
+// Each connection runs one reader and one writer goroutine around a
+// fixed-size send queue. The cache's notify path never blocks on a
+// connection (serial notifies coalesce into a 1-slot doorbell), and the
+// writer never blocks the cache: a router that stops draining its socket
+// either stalls a write past WriteTimeout or fills its send queue, and is
+// then evicted with a best-effort Error PDU instead of back-pressuring the
+// fan-out — the distribution-layer analogue of the relying party's
+// slow-loris defenses.
 type Server struct {
 	cache  *Cache
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	// MaxClients caps concurrent connections (0: unlimited). A connection
+	// over the cap is answered with an Error PDU and closed. Set before
+	// Listen.
+	MaxClients int
+	// SendQueue is the per-connection response-queue capacity (0: default
+	// 32). Set before Listen.
+	SendQueue int
+	// WriteTimeout bounds one write batch to a client (0: default 30s).
+	// Set before Listen.
+	WriteTimeout time.Duration
+	// WriteBuffer, when > 0, sets each accepted connection's kernel send
+	// buffer. At fleet scale the kernel's default per-socket buffer times
+	// 10k sockets is real memory; bounding it also makes a stalled
+	// consumer hit WriteTimeout (and be evicted) instead of hiding behind
+	// megabytes of kernel buffering. Set before Listen.
+	WriteBuffer int
+
+	active      atomic.Int64
+	evictions   atomic.Uint64
+	rejections  atomic.Uint64
+	resumptions atomic.Uint64
+	cacheResets atomic.Uint64
 }
 
 // NewServer creates an RTR server over cache.
 func NewServer(cache *Cache) *Server {
 	return &Server{cache: cache, closed: make(chan struct{})}
+}
+
+// Evictions reports connections dropped for slow consumption (write stall
+// or full send queue).
+func (s *Server) Evictions() uint64 { return s.evictions.Load() }
+
+// Rejections reports connections refused over MaxClients.
+func (s *Server) Rejections() uint64 { return s.rejections.Load() }
+
+// Resumptions reports reconnecting clients whose first query was a serial
+// query answered from the delta history — a session resumed without a full
+// snapshot reload.
+func (s *Server) Resumptions() uint64 { return s.resumptions.Load() }
+
+// CacheResets reports serial queries answered with Cache Reset (session
+// mismatch or serial out of the retained window).
+func (s *Server) CacheResets() uint64 { return s.cacheResets.Load() }
+
+// ActiveClients reports currently served connections.
+func (s *Server) ActiveClients() int64 { return s.active.Load() }
+
+func (s *Server) sendQueue() int {
+	if s.SendQueue > 0 {
+		return s.SendQueue
+	}
+	return defaultSendQueue
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return writeTimeout
 }
 
 // Listen binds addr and starts serving; it returns the bound address.
@@ -318,14 +128,39 @@ func (s *Server) Listen(addr string) (string, error) {
 					continue
 				}
 			}
+			if s.MaxClients > 0 && s.active.Load() >= int64(s.MaxClients) {
+				s.rejections.Add(1)
+				if met := s.cache.met.Load(); met != nil {
+					met.rejections.Inc()
+				}
+				s.refuse(conn)
+				continue
+			}
+			s.active.Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
+				defer s.active.Add(-1)
 				s.handle(conn)
 			}()
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// refuse answers an over-cap connection with a graceful Error PDU and
+// closes it, off the accept loop so a wedged peer cannot stall accepts.
+func (s *Server) refuse(conn net.Conn) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer conn.Close()
+		if conn.SetWriteDeadline(time.Now().Add(2*time.Second)) != nil {
+			return
+		}
+		_ = WritePDU(conn, &PDU{Type: TypeErrorReport, Session: ErrNoDataAvailable,
+			ErrText: "connection limit reached"})
+	}()
 }
 
 // Close stops the server.
@@ -343,114 +178,223 @@ func (s *Server) Close() error {
 	return err
 }
 
+// response is one fully formed answer: an ordered batch of wire segments
+// (header PDUs interleaved with shared zero-copy frames) written atomically
+// by the connection's writer goroutine.
+type response struct {
+	segs [][]byte
+	// drop closes the connection after the batch is written (protocol
+	// errors, server-initiated errors).
+	drop bool
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	notify := s.cache.subscribe(conn.RemoteAddr().String())
-	defer s.cache.unsubscribe(notify)
-
-	// Reader goroutine feeds queries; this goroutine multiplexes queries
-	// and notify events.
-	queries := make(chan *PDU)
-	readErr := make(chan error, 1)
-	go func() {
-		r := bufio.NewReader(conn)
-		for {
-			p, err := ReadPDU(r)
-			if err != nil {
-				readErr <- err
-				return
-			}
-			queries <- p
+	if s.WriteBuffer > 0 {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetWriteBuffer(s.WriteBuffer)
 		}
+	}
+	sendq := make(chan response, s.sendQueue())
+	sub := s.cache.subscribe(conn.RemoteAddr().String(), func() int { return len(sendq) })
+	defer s.cache.unsubscribe(sub)
+
+	// evictq carries at most one eviction verdict from the reader (queue
+	// full) to the writer, which owns the socket teardown.
+	evictq := make(chan string, 1)
+	readErr := make(chan error, 1)
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		readErr <- s.readLoop(conn, sendq, evictq)
 	}()
 
-	w := bufio.NewWriter(conn)
+	s.writeLoop(conn, sub, sendq, evictq)
+
+	// Unblock and collect the reader: closing the conn (deferred above
+	// fires on return, but the reader may be mid-read now) fails its read.
+	conn.Close()
+	readerDone.Wait()
+}
+
+// readLoop reads queries and enqueues fully formed responses. It never
+// writes to the socket and never blocks on the send queue: a full queue is
+// a slow consumer, reported on evictq for the writer to terminate.
+func (s *Server) readLoop(conn net.Conn, sendq chan response, evictq chan string) error {
+	//lint:ignore deadlinebeforeio RTR reads are unbounded by design: routers idle between queries and are pushed notifies
+	r := bufio.NewReaderSize(conn, 512)
+	firstQuery := true
+	for {
+		q, err := ReadPDU(r)
+		if err != nil {
+			return err
+		}
+		resp, ok := s.answer(q, firstQuery)
+		firstQuery = false
+		if !ok {
+			// Protocol-fatal query: enqueue the error (drop flag set) and
+			// stop reading.
+			select {
+			case sendq <- resp:
+			default:
+				s.requestEvict(evictq, evictQueueFull)
+			}
+			return nil
+		}
+		select {
+		case sendq <- resp:
+		default:
+			// The client has a full queue of unread answers and keeps
+			// asking: evict rather than buffer without bound or block the
+			// reader.
+			s.requestEvict(evictq, evictQueueFull)
+			return nil
+		}
+	}
+}
+
+// requestEvict posts an eviction verdict (first one wins).
+func (s *Server) requestEvict(evictq chan string, reason string) {
+	select {
+	case evictq <- reason:
+	default:
+	}
+}
+
+// writeLoop owns all socket writes: query responses from the send queue
+// and coalesced serial notifies from the subscriber doorbell. Every batch
+// is deadline-armed; a write error or timeout means the consumer stalled
+// and the connection is evicted.
+func (s *Server) writeLoop(conn net.Conn, sub *subscriber, sendq chan response, evictq chan string) {
+	w := bufio.NewWriterSize(conn, 1024)
+	timeout := s.writeTimeout()
+	writeBatch := func(segs [][]byte) bool {
+		if conn.SetWriteDeadline(time.Now().Add(timeout)) != nil {
+			return false
+		}
+		for _, seg := range segs {
+			if _, err := w.Write(seg); err != nil {
+				return false
+			}
+		}
+		return w.Flush() == nil
+	}
 	for {
 		select {
 		case <-s.closed:
 			return
-		case <-readErr:
+		case err := <-evictq:
+			s.evict(conn, w, err)
 			return
-		case serial := <-notify:
-			// Write deadline per response batch: a router that stops
-			// draining its socket must not pin this goroutine (and its
-			// cache subscription) forever — the server-side slow-loris.
-			if conn.SetWriteDeadline(time.Now().Add(writeTimeout)) != nil {
-				return
-			}
-			_ = WritePDU(w, &PDU{Type: TypeSerialNotify, Session: s.sessionID(), Serial: serial})
-			if w.Flush() != nil {
+		case <-sub.wake:
+			serial := sub.pending.Load()
+			ok := writeBatch([][]byte{mustMarshal(&PDU{
+				Type: TypeSerialNotify, Session: s.cache.Session(), Serial: serial})})
+			if !ok {
+				s.evict(conn, w, evictWriteStall)
 				return
 			}
 			// The notify reached the client's socket: one propagation
 			// latency sample for this delta.
 			s.cache.observePropagation(serial)
-		case q := <-queries:
-			if conn.SetWriteDeadline(time.Now().Add(writeTimeout)) != nil {
+		case resp := <-sendq:
+			if !writeBatch(resp.segs) {
+				s.evict(conn, w, evictWriteStall)
 				return
 			}
-			keep := s.answer(w, q)
-			if w.Flush() != nil || !keep {
+			if resp.drop {
 				return
 			}
 		}
 	}
 }
 
-// writeTimeout bounds one response batch (snapshot replay included) to a
-// client; RTR reads stay unbounded by design — clients legitimately idle
-// between serial queries and are pushed notifies instead.
-const writeTimeout = 30 * time.Second
-
-func (s *Server) sessionID() uint16 {
-	s.cache.mu.Lock()
-	defer s.cache.mu.Unlock()
-	return s.cache.session
+// evict terminates a slow consumer: count it, then best-effort write a
+// graceful Error PDU under a short deadline (a write-stalled socket will
+// simply fail it) and return — the caller closes the connection.
+func (s *Server) evict(conn net.Conn, w *bufio.Writer, reason string) {
+	s.evictions.Add(1)
+	if met := s.cache.met.Load(); met != nil {
+		met.evictions.With(reason).Inc()
+	}
+	deadline := 2 * time.Second
+	if t := s.writeTimeout(); t < deadline {
+		deadline = t
+	}
+	if conn.SetWriteDeadline(time.Now().Add(deadline)) != nil {
+		return
+	}
+	if WritePDU(w, &PDU{Type: TypeErrorReport, Session: ErrNoDataAvailable,
+		ErrText: "evicted: slow consumer (" + reason + ")"}) == nil {
+		_ = w.Flush()
+	}
 }
 
-// answer responds to one query; false means drop the connection. The hot
-// path writes the cache's precomputed shared frames verbatim — no VRP is
+// mustMarshal encodes a server-constructed PDU (whose shapes are all
+// marshalable by construction).
+func mustMarshal(p *PDU) []byte {
+	b, err := p.Marshal()
+	if err != nil {
+		panic("rtr: marshal of server PDU failed: " + err.Error())
+	}
+	return b
+}
+
+// answer builds the response batch for one query; ok=false means the
+// connection must drop after the batch is written. The hot path stitches
+// the cache's precomputed shared frames into the batch verbatim — no VRP is
 // re-serialized per client.
-func (s *Server) answer(w *bufio.Writer, q *PDU) bool {
+func (s *Server) answer(q *PDU, firstQuery bool) (response, bool) {
 	switch q.Type {
 	case TypeResetQuery:
 		frame, serial, session := s.cache.snapshotFrame()
-		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: session}); err != nil {
-			return false
-		}
-		if _, err := w.Write(frame); err != nil {
-			return false
-		}
-		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: session, Serial: serial}) == nil
+		return response{segs: [][]byte{
+			mustMarshal(&PDU{Type: TypeCacheResponse, Session: session}),
+			frame,
+			mustMarshal(&PDU{Type: TypeEndOfData, Session: session, Serial: serial}),
+		}}, true
 
 	case TypeSerialQuery:
-		session := s.sessionID()
+		session := s.cache.Session()
 		if q.Session != session {
 			// Session mismatch: tell the client to reset.
-			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
+			s.cacheResets.Add(1)
+			if met := s.cache.met.Load(); met != nil {
+				met.cacheResets.Inc()
+			}
+			return response{segs: [][]byte{mustMarshal(&PDU{Type: TypeCacheReset})}}, true
 		}
 		frames, serial, ok := s.cache.deltaFrames(q.Serial)
 		if !ok {
 			// The queried serial predates the retained history window:
 			// the client must reload the full snapshot.
-			return WritePDU(w, &PDU{Type: TypeCacheReset}) == nil
+			s.cacheResets.Add(1)
+			if met := s.cache.met.Load(); met != nil {
+				met.cacheResets.Inc()
+			}
+			return response{segs: [][]byte{mustMarshal(&PDU{Type: TypeCacheReset})}}, true
 		}
-		if err := WritePDU(w, &PDU{Type: TypeCacheResponse, Session: session}); err != nil {
-			return false
-		}
-		for _, frame := range frames {
-			if _, err := w.Write(frame); err != nil {
-				return false
+		if firstQuery {
+			// A fresh connection opening with an in-window serial query is
+			// a reconnecting router resuming its session: it replays only
+			// the missed deltas instead of the full snapshot.
+			s.resumptions.Add(1)
+			if met := s.cache.met.Load(); met != nil {
+				met.resumptions.Inc()
 			}
 		}
-		return WritePDU(w, &PDU{Type: TypeEndOfData, Session: session, Serial: serial}) == nil
+		segs := make([][]byte, 0, len(frames)+2)
+		segs = append(segs, mustMarshal(&PDU{Type: TypeCacheResponse, Session: session}))
+		segs = append(segs, frames...)
+		segs = append(segs, mustMarshal(&PDU{Type: TypeEndOfData, Session: session, Serial: serial}))
+		return response{segs: segs}, true
 
 	case TypeErrorReport:
-		return false
+		return response{drop: true}, false
 
 	default:
-		_ = WritePDU(w, &PDU{Type: TypeErrorReport, Session: ErrUnsupportedPDU,
-			ErrText: fmt.Sprintf("unsupported PDU type %d", q.Type)})
-		return false
+		return response{segs: [][]byte{mustMarshal(&PDU{Type: TypeErrorReport, Session: ErrUnsupportedPDU,
+			ErrText: fmt.Sprintf("unsupported PDU type %d", q.Type)})}, drop: true}, false
 	}
 }
