@@ -1,0 +1,87 @@
+// Command rpki-lint-budget enforces a wall-clock budget over an
+// `rpki-lint -json` report. CI uploads the report as an artifact and runs
+// this check so a rule that regresses from near-linear to superlinear
+// fails the build loudly instead of quietly slowing every future run.
+//
+// Usage:
+//
+//	rpki-lint-budget -report rpki-lint-report.json [-rule-budget-ms N] [-total-budget-ms N]
+//
+// The check fails (exit 1) when any single rule — or the call-graph
+// construction, which the report times under the pseudo-rule
+// "callgraph" — exceeds the per-rule budget, or when the sum of all
+// timings exceeds the total budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// timing mirrors analysis.RuleTiming's JSON shape. Decoded structurally
+// instead of importing internal/analysis so the tool works against any
+// archived report, including ones produced by older binaries.
+type timing struct {
+	Rule   string  `json:"rule"`
+	Millis float64 `json:"millis"`
+}
+
+type report struct {
+	Timings []timing `json:"timings"`
+}
+
+func main() {
+	path := flag.String("report", "", "path to an rpki-lint -json report")
+	ruleBudget := flag.Float64("rule-budget-ms", 30000, "per-rule wall-clock budget in milliseconds")
+	totalBudget := flag.Float64("total-budget-ms", 60000, "whole-analysis wall-clock budget in milliseconds")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "rpki-lint-budget: -report is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpki-lint-budget: %v\n", err)
+		os.Exit(2)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "rpki-lint-budget: decoding %s: %v\n", *path, err)
+		os.Exit(2)
+	}
+	if len(rep.Timings) == 0 {
+		fmt.Fprintf(os.Stderr, "rpki-lint-budget: %s has no timings — was it produced with -json?\n", *path)
+		os.Exit(2)
+	}
+
+	lines, breaches := check(rep, *ruleBudget, *totalBudget)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if breaches > 0 {
+		os.Exit(1)
+	}
+}
+
+// check evaluates the budgets and returns the report lines to print plus
+// the number of breaches.
+func check(rep report, ruleBudget, totalBudget float64) (lines []string, breaches int) {
+	var total float64
+	for _, t := range rep.Timings {
+		total += t.Millis
+		if t.Millis > ruleBudget {
+			lines = append(lines, fmt.Sprintf("BREACH %s: %.1fms > %.0fms per-rule budget", t.Rule, t.Millis, ruleBudget))
+			breaches++
+		}
+	}
+	if total > totalBudget {
+		lines = append(lines, fmt.Sprintf("BREACH total: %.1fms > %.0fms whole-analysis budget", total, totalBudget))
+		breaches++
+	}
+	lines = append(lines, fmt.Sprintf("rpki-lint-budget: %d rules, %.1fms total (budget %.0fms/rule, %.0fms total)",
+		len(rep.Timings), total, ruleBudget, totalBudget))
+	return lines, breaches
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCheckWithinBudget(t *testing.T) {
+	rep := report{Timings: []timing{
+		{Rule: "callgraph", Millis: 13},
+		{Rule: "taintflow", Millis: 4},
+		{Rule: "lockorder", Millis: 2},
+	}}
+	lines, breaches := check(rep, 30000, 60000)
+	if breaches != 0 {
+		t.Fatalf("breaches = %d, want 0\n%s", breaches, strings.Join(lines, "\n"))
+	}
+	if want := "rpki-lint-budget: 3 rules, 19.0ms total (budget 30000ms/rule, 60000ms total)"; lines[len(lines)-1] != want {
+		t.Fatalf("summary = %q, want %q", lines[len(lines)-1], want)
+	}
+}
+
+func TestCheckPerRuleBreach(t *testing.T) {
+	rep := report{Timings: []timing{
+		{Rule: "taintflow", Millis: 45000},
+		{Rule: "lockorder", Millis: 2},
+	}}
+	lines, breaches := check(rep, 30000, 60000)
+	if breaches != 1 {
+		t.Fatalf("breaches = %d, want 1\n%s", breaches, strings.Join(lines, "\n"))
+	}
+	if want := "BREACH taintflow: 45000.0ms > 30000ms per-rule budget"; lines[0] != want {
+		t.Fatalf("breach line = %q, want %q", lines[0], want)
+	}
+}
+
+func TestCheckTotalBreach(t *testing.T) {
+	rep := report{Timings: []timing{
+		{Rule: "a", Millis: 25000},
+		{Rule: "b", Millis: 25000},
+		{Rule: "c", Millis: 25000},
+	}}
+	lines, breaches := check(rep, 30000, 60000)
+	if breaches != 1 {
+		t.Fatalf("breaches = %d, want 1\n%s", breaches, strings.Join(lines, "\n"))
+	}
+	if want := "BREACH total: 75000.0ms > 60000ms whole-analysis budget"; lines[0] != want {
+		t.Fatalf("breach line = %q, want %q", lines[0], want)
+	}
+}
+
+func TestReportShapeMatchesLint(t *testing.T) {
+	// Decode a fragment in the exact shape `rpki-lint -json` emits so a
+	// renamed JSON key on either side breaks this test, not just CI.
+	raw := []byte(`{"findings":null,"timings":[{"rule":"callgraph","millis":13.2},{"rule":"atomicmix","millis":1.5}],"suppression_inventory":["x"]}`)
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timings) != 2 || rep.Timings[0].Rule != "callgraph" || rep.Timings[1].Millis != 1.5 {
+		t.Fatalf("decoded timings = %+v", rep.Timings)
+	}
+}

@@ -7,9 +7,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
-// A Rule is one domain invariant checked over typed ASTs.
+// A Rule is one domain invariant checked over typed ASTs. Intraprocedural
+// rules set Run and are invoked once per package; whole-program rules set
+// RunProgram and are invoked once per Run with the shared call graph and
+// fact store. A rule may set both.
 type Rule struct {
 	// Name is the rule identifier used in findings and //lint:ignore.
 	Name string
@@ -17,6 +21,8 @@ type Rule struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole program (call graph + fact store).
+	RunProgram func(*ProgramPass)
 }
 
 // Rules returns the full suite, in canonical order.
@@ -30,7 +36,43 @@ func Rules() []*Rule {
 		metricsCoverageRule,
 		poolHygieneRule,
 		boundedDecodeRule,
+		taintFlowRule,
+		lockOrderRule,
+		atomicMixRule,
 	}
+}
+
+// RulesByName resolves a comma-separated rule subset ("taintflow,lockorder")
+// against the full suite, preserving canonical order. An empty or "all"
+// selector returns every rule.
+func RulesByName(selector string) ([]*Rule, error) {
+	if selector == "" || selector == "all" {
+		return Rules(), nil
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(selector, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var out []*Rule
+	for _, r := range Rules() {
+		if want[r.Name] {
+			out = append(out, r)
+			delete(want, r.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("analysis: unknown rule(s) %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
 }
 
 // ruleNames returns the set of valid rule names (for suppression checking).
@@ -52,6 +94,19 @@ type Pass struct {
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.out.add(p.Pkg.Fset, pos, p.rule, fmt.Sprintf(format, args...))
+}
+
+// ProgramPass is the per-rule whole-program context handed to
+// Rule.RunProgram.
+type ProgramPass struct {
+	Prog *Program
+	rule string
+	out  *Report
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.out.add(p.Prog.Fset, pos, p.rule, fmt.Sprintf(format, args...))
 }
 
 // Finding is one rule violation.
@@ -79,6 +134,14 @@ type Suppression struct {
 	Used bool `json:"used"`
 }
 
+// RuleTiming is one rule's wall time over the whole run (all packages for
+// per-package rules, the single whole-program pass for program rules).
+// The pseudo-rule "callgraph" accounts for building the Program.
+type RuleTiming struct {
+	Rule   string  `json:"rule"`
+	Millis float64 `json:"millis"`
+}
+
 // Report is the outcome of one analysis run.
 type Report struct {
 	// Findings are the surviving (unsuppressed) findings, canonically
@@ -88,6 +151,12 @@ type Report struct {
 	Suppressions []Suppression `json:"suppressions"`
 	// Suppressed counts findings silenced by a directive.
 	Suppressed int `json:"suppressed"`
+	// SuppressionInventory is the suppression set in a canonical
+	// line-diffable form — "rule file:line reason" sorted — so CI can diff
+	// the exception surface across PRs and review every addition.
+	SuppressionInventory []string `json:"suppression_inventory"`
+	// Timings reports per-rule wall time, sorted by rule name.
+	Timings []RuleTiming `json:"timings"`
 
 	baseDir string
 }
@@ -122,14 +191,38 @@ const SuppressionRule = "suppression"
 
 // Run executes every rule over every package and resolves suppressions.
 // baseDir (usually the module root) relativizes file names in the output.
+// Program rules run once over the whole package set; the call graph is
+// built only when at least one selected rule needs it.
 func Run(pkgs []*Package, rules []*Rule, baseDir string) *Report {
 	report := &Report{baseDir: baseDir}
-	for _, pkg := range pkgs {
-		for _, rule := range rules {
-			pass := &Pass{Pkg: pkg, rule: rule.Name, out: report}
-			rule.Run(pass)
+	elapsed := make(map[string]time.Duration)
+
+	var prog *Program
+	for _, rule := range rules {
+		if rule.RunProgram != nil {
+			start := time.Now()
+			prog = BuildProgram(pkgs)
+			elapsed["callgraph"] = time.Since(start)
+			break
 		}
 	}
+	for _, rule := range rules {
+		start := time.Now()
+		if rule.Run != nil {
+			for _, pkg := range pkgs {
+				rule.Run(&Pass{Pkg: pkg, rule: rule.Name, out: report})
+			}
+		}
+		if rule.RunProgram != nil {
+			rule.RunProgram(&ProgramPass{Prog: prog, rule: rule.Name, out: report})
+		}
+		elapsed[rule.Name] += time.Since(start)
+	}
+	for name, d := range elapsed {
+		report.Timings = append(report.Timings, RuleTiming{Rule: name, Millis: float64(d.Nanoseconds()) / 1e6})
+	}
+	sort.Slice(report.Timings, func(i, j int) bool { return report.Timings[i].Rule < report.Timings[j].Rule })
+
 	report.applySuppressions(pkgs)
 	sort.Slice(report.Findings, func(i, j int) bool {
 		a, b := report.Findings[i], report.Findings[j]
@@ -236,6 +329,16 @@ func (r *Report) applySuppressions(pkgs []*Package) {
 		}
 		return a.Line < b.Line
 	})
+	// One line per (rule, site): stable under reordering of the source
+	// list, so "diff old.inventory new.inventory" in CI shows exactly the
+	// exceptions a PR adds or removes.
+	for _, sup := range r.Suppressions {
+		for _, rule := range sup.Rules {
+			r.SuppressionInventory = append(r.SuppressionInventory,
+				fmt.Sprintf("%s %s:%d %s", rule, sup.File, sup.Line, sup.Reason))
+		}
+	}
+	sort.Strings(r.SuppressionInventory)
 }
 
 // enclosingFuncs indexes a file's top-level function declarations so rules

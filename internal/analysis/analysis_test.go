@@ -19,7 +19,7 @@ var fixtures struct {
 	err  error
 }
 
-func fixtureReport(t *testing.T, rel string) *Report {
+func fixturePackages(t *testing.T, rels ...string) []*Package {
 	t.Helper()
 	fixtures.once.Do(func() {
 		fixtures.root, fixtures.err = filepath.Abs(filepath.Join("testdata", "src", "fixturemod"))
@@ -30,15 +30,24 @@ func fixtureReport(t *testing.T, rel string) *Report {
 	if fixtures.err != nil {
 		t.Fatalf("locating fixtures: %v", fixtures.err)
 	}
-	dir := filepath.Join(fixtures.root, filepath.FromSlash(rel))
-	pkg, err := fixtures.l.LoadDir(dir, "fixturemod/"+rel)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", rel, err)
+	var pkgs []*Package
+	for _, rel := range rels {
+		dir := filepath.Join(fixtures.root, filepath.FromSlash(rel))
+		pkg, err := fixtures.l.LoadDir(dir, "fixturemod/"+rel)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", rel, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", rel, terr)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("fixture %s: type error: %v", rel, terr)
-	}
-	return Run([]*Package{pkg}, Rules(), fixtures.root)
+	return pkgs
+}
+
+func fixtureReport(t *testing.T, rels ...string) *Report {
+	t.Helper()
+	return Run(fixturePackages(t, rels...), Rules(), fixtures.root)
 }
 
 func findingStrings(r *Report) []string {
@@ -144,6 +153,115 @@ func TestSuppressions(t *testing.T) {
 			t.Errorf("suppression at line %d: Used = %v, want %v",
 				rep.Suppressions[i].Line, rep.Suppressions[i].Used, wantUsed)
 		}
+	}
+}
+
+// TestTaintFlow spans two fixture packages: the source, sink, and
+// sanitizers live in taint/wire while the flows cross taint's helpers —
+// only the whole-program call graph can connect them.
+func TestTaintFlow(t *testing.T) {
+	rep := fixtureReport(t, "taint/wire", "taint")
+	checkGolden(t, findingStrings(rep), []string{
+		"taint/taint.go:17: [taintflow] attacker-controlled bytes from wire.ReadFrame reach sink wire.Emit with no sanitizer on the path wire.ReadFrame → taint.relay → taint.forward → wire.Emit: misbehaving-authority input must be bounded and verified before it has routing consequences",
+		"taint/taint.go:35: [taintflow] attacker-controlled bytes from taint.FuzzParse reach sink wire.Emit with no sanitizer on the path taint.FuzzParse → wire.Emit: misbehaving-authority input must be bounded and verified before it has routing consequences",
+		"taint/taint.go:50: [taintflow] attacker-controlled bytes from taint.readConn reach sink wire.Emit with no sanitizer on the path taint.readConn → taint.connFlow → wire.Emit: misbehaving-authority input must be bounded and verified before it has routing consequences",
+		"taint/taint.go:65: [suppression] //lint:ignore taintflow has no reason: every exception must explain itself",
+		"taint/taint.go:66: [taintflow] attacker-controlled bytes from wire.ReadFrame reach sink wire.Emit with no sanitizer on the path wire.ReadFrame → taint.relayBad → taint.forwardBad → wire.Emit: misbehaving-authority input must be bounded and verified before it has routing consequences",
+		`taint/wire/wire.go:29: [taintflow] unknown taint marker "gadget": valid kinds are source, sink, sanitizer`,
+		"taint/wire/wire.go:34: [taintflow] //taint:source has no description: the taint surface must document what the source is",
+	})
+	if rep.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (only relayOK's directive may suppress)", rep.Suppressed)
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	rep := fixtureReport(t, "lockorder")
+	checkGolden(t, findingStrings(rep), []string{
+		"lockorder/lockorder.go:20: [lockorder] lock-order cycle among {lockorder.A.mu, lockorder.B.mu}: lockorder.A.mu→lockorder.B.mu in lockorder.A.lockAB (lockorder.go:20); lockorder.B.mu→lockorder.A.mu in lockorder.B.lockBA (lockorder.go:29) — two goroutines interleaving these chains deadlock",
+		"lockorder/lockorder.go:44: [lockorder] call to lockorder.C.inner may re-acquire lockorder.C.mu, which is already held: mutexes are not reentrant — same-shard re-entry deadlocks",
+		"lockorder/lockorder.go:55: [lockorder] lockorder.C.mu acquired while already held (line 54): mutexes are not reentrant — same-shard re-entry deadlocks",
+		"lockorder/lockorder.go:68: [lockorder] channel send while holding lockorder.D.mu: a peer that stalls this operation stalls every user of the lock",
+		"lockorder/lockorder.go:85: [lockorder] call to lockorder.D.waitOne, which can block on channel receive, while holding lockorder.D.mu: a peer that stalls this operation stalls every user of the lock",
+		"lockorder/lockorder.go:98: [lockorder] conn write while holding lockorder.D.mu: a peer that stalls this operation stalls every user of the lock",
+		"lockorder/lockorder.go:123: [suppression] //lint:ignore lockorder has no reason: every exception must explain itself",
+		"lockorder/lockorder.go:124: [lockorder] channel send while holding lockorder.D.mu: a peer that stalls this operation stalls every user of the lock",
+	})
+}
+
+func TestAtomicMix(t *testing.T) {
+	rep := fixtureReport(t, "atomicmix")
+	checkGolden(t, findingStrings(rep), []string{
+		"atomicmix/atomicmix.go:17: [atomicmix] atomicmix.Counter.n is accessed with sync/atomic in atomicmix.Counter.IncAtomic (atomicmix.go:14) but with a plain load/store in atomicmix.Counter.ReadPlain: mixed access synchronizes nothing",
+		"atomicmix/atomicmix.go:35: [atomicmix] atomicmix.total is accessed with sync/atomic in atomicmix.bumpTotal (atomicmix.go:32) but with a plain load/store in atomicmix.totalPlain: mixed access synchronizes nothing",
+		"atomicmix/atomicmix.go:46: [suppression] //lint:ignore atomicmix has no reason: every exception must explain itself",
+		"atomicmix/atomicmix.go:47: [atomicmix] atomicmix.Counter.n is accessed with sync/atomic in atomicmix.Counter.IncAtomic (atomicmix.go:14) but with a plain load/store in atomicmix.readBad: mixed access synchronizes nothing",
+	})
+}
+
+// TestLoaderBuildTags: a file excluded by //go:build must contribute
+// neither declarations nor findings.
+func TestLoaderBuildTags(t *testing.T) {
+	pkgs := fixturePackages(t, "buildtag")
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("loaded %d files, want 1 (excluded.go must be skipped)", n)
+	}
+	rep := Run(pkgs, Rules(), fixtures.root)
+	checkGolden(t, findingStrings(rep), []string{})
+}
+
+// TestLoaderGenerics: type-parameterized code loads, type-checks, and is
+// visible to the rules through instantiation.
+func TestLoaderGenerics(t *testing.T) {
+	rep := fixtureReport(t, "generics")
+	checkGolden(t, findingStrings(rep), []string{
+		"generics/generics.go:34: [uncheckedverify] error result of CheckEqual is discarded: a dropped verification verdict admits unverified objects",
+	})
+}
+
+// TestRulesByName pins the -rules selector: subsets resolve, "all" and ""
+// mean everything, unknown names error.
+func TestRulesByName(t *testing.T) {
+	all, err := RulesByName("")
+	if err != nil || len(all) != len(Rules()) {
+		t.Fatalf("RulesByName(\"\") = %d rules, err %v; want all %d", len(all), err, len(Rules()))
+	}
+	sub, err := RulesByName("taintflow,lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "taintflow" || sub[1].Name != "lockorder" {
+		t.Errorf("subset = %v", sub)
+	}
+	if _, err := RulesByName("nosuchrule"); err == nil {
+		t.Error("unknown rule name must error")
+	}
+}
+
+// TestRuleSubsetRun: running a subset only reports that subset's findings
+// and still records timings for it (plus the shared call-graph build).
+func TestRuleSubsetRun(t *testing.T) {
+	rules, err := RulesByName("atomicmix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(fixturePackages(t, "atomicmix"), rules, fixtures.root)
+	for _, f := range rep.Findings {
+		// Malformed //lint:ignore directives report under the suppression
+		// pseudo-rule in every run; anything else must be atomicmix.
+		if !strings.Contains(f.String(), "[atomicmix]") && !strings.Contains(f.String(), "[suppression]") {
+			t.Errorf("subset run leaked finding: %s", f)
+		}
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("atomicmix subset should still find the fixture races")
+	}
+	names := make(map[string]bool)
+	for _, tm := range rep.Timings {
+		names[tm.Rule] = true
+	}
+	if !names["atomicmix"] || !names["callgraph"] {
+		t.Errorf("timings = %v, want atomicmix and callgraph entries", names)
 	}
 }
 

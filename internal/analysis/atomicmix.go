@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// atomicmix: a field accessed through sync/atomic in one code path and
+// with plain loads/stores in another has no synchronization at all — the
+// atomic calls merely hide the race from casual review, and the plain
+// path may be in a different function, file, or package, which is why the
+// race detector only catches it when a test happens to interleave the two.
+// This rule aggregates every access to every struct field and
+// package-level variable across the whole program: any location accessed
+// both ways is reported at each plain site.
+//
+// Accesses inside the owning type's constructors (functions returning the
+// type, and init functions) are exempt: before the value is published
+// there is nothing to race with. The typed atomics (atomic.Uint64 and
+// friends) make this rule structurally unnecessary — which is exactly why
+// the repo prefers them — but the function-style API remains legal Go and
+// one plain `x.n++` next to an `atomic.AddUint64(&x.n, 1)` is a real,
+// silent corruption bug.
+var atomicMixRule = &Rule{
+	Name:       "atomicmix",
+	Doc:        "location accessed via sync/atomic in one path and plain loads/stores in another, across the whole program",
+	RunProgram: runAtomicMix,
+}
+
+type atomicAccess struct {
+	pos  token.Pos
+	fn   string
+	name string // display name of the accessed location
+}
+
+func runAtomicMix(pp *ProgramPass) {
+	prog := pp.Prog
+	atomicSites := make(map[*types.Var][]atomicAccess)
+	plainSites := make(map[*types.Var][]atomicAccess)
+
+	for _, fi := range prog.Functions() {
+		info := fi.Pkg.Info
+		exempt := constructorLike(fi)
+		// Pass 1: the &loc arguments of sync/atomic calls.
+		viaAtomic := make(map[ast.Node]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					viaAtomic[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+		// Pass 2: classify every use of a field or package-level var.
+		record := func(n ast.Node, obj *types.Var, name string) {
+			acc := atomicAccess{pos: n.Pos(), fn: FuncDisplayName(fi.Fn), name: name}
+			if viaAtomic[n] {
+				atomicSites[obj] = append(atomicSites[obj], acc)
+			} else if !exempt {
+				plainSites[obj] = append(plainSites[obj], acc)
+			}
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Literal construction initializes, it does not race.
+				return false
+			case *ast.SelectorExpr:
+				obj, ok := info.Uses[n.Sel].(*types.Var)
+				if !ok || !obj.IsField() {
+					return true
+				}
+				record(n, obj, fieldDisplayName(info, n, obj))
+			case *ast.Ident:
+				obj, ok := info.Uses[n].(*types.Var)
+				if !ok || obj.IsField() || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+					return true
+				}
+				record(n, obj, obj.Pkg().Name()+"."+obj.Name())
+			}
+			return true
+		})
+	}
+
+	var objs []*types.Var
+	for obj := range atomicSites {
+		if len(plainSites[obj]) > 0 {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		at := atomicSites[obj]
+		sort.Slice(at, func(i, j int) bool { return at[i].pos < at[j].pos })
+		ex := prog.Fset.Position(at[0].pos)
+		plains := plainSites[obj]
+		sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+		for _, p := range plains {
+			pp.Reportf(p.pos,
+				"%s is accessed with sync/atomic in %s (%s:%d) but with a plain load/store in %s: mixed access synchronizes nothing",
+				p.name, at[0].fn, filepath.Base(ex.Filename), ex.Line, p.fn)
+		}
+	}
+}
+
+// fieldDisplayName renders a field access as Type.field using the
+// receiver's static type.
+func fieldDisplayName(info *types.Info, sel *ast.SelectorExpr, obj *types.Var) string {
+	recv := info.TypeOf(sel.X)
+	for {
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := recv.(*types.Named); ok {
+		name := named.Obj().Name() + "." + obj.Name()
+		if named.Obj().Pkg() != nil {
+			name = named.Obj().Pkg().Name() + "." + name
+		}
+		return name
+	}
+	return obj.Name()
+}
+
+// constructorLike reports whether fi publishes new values rather than
+// mutating shared ones: init functions and functions whose results
+// include a named struct type declared in the same package (the
+// constructor convention — the value is not yet visible to another
+// goroutine).
+func constructorLike(fi *FuncInfo) bool {
+	if fi.Fn.Name() == "init" && fi.Fn.Type().(*types.Signature).Recv() == nil {
+		return true
+	}
+	sig := fi.Fn.Type().(*types.Signature)
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct && named.Obj().Pkg() == fi.Fn.Pkg() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -72,6 +72,40 @@ type Loader struct {
 
 var disableCgoOnce sync.Once
 
+// The standard library is type-checked from source exactly once per
+// process: every Loader shares one FileSet and one source importer, so a
+// test binary (or driver) creating several Loaders — fixtures, self-run,
+// CLI — pays the stdlib cost a single time instead of per Loader. The
+// importer memoizes internally but is not documented as concurrency-safe,
+// so a process-wide mutex serializes imports across Loaders.
+var sharedStd struct {
+	once sync.Once
+	fset *token.FileSet
+	mu   sync.Mutex
+	imp  types.ImporterFrom
+}
+
+func sharedStdImporter() (*token.FileSet, types.ImporterFrom) {
+	sharedStd.once.Do(func() {
+		sharedStd.fset = token.NewFileSet()
+		sharedStd.imp = importer.ForCompiler(sharedStd.fset, "source", nil).(types.ImporterFrom)
+	})
+	return sharedStd.fset, lockedImporter{}
+}
+
+// lockedImporter serializes access to the shared source importer.
+type lockedImporter struct{}
+
+func (lockedImporter) Import(path string) (*types.Package, error) {
+	return lockedImporter{}.ImportFrom(path, "", 0)
+}
+
+func (lockedImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	sharedStd.mu.Lock()
+	defer sharedStd.mu.Unlock()
+	return sharedStd.imp.ImportFrom(path, srcDir, mode)
+}
+
 // NewLoader creates a loader for the module rooted at modRoot (the
 // directory containing go.mod) with the given module path.
 func NewLoader(modRoot, modPath string) *Loader {
@@ -80,13 +114,12 @@ func NewLoader(modRoot, modPath string) *Loader {
 	// its pure-Go form, which is all the analysis needs.
 	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
 	l := &Loader{
-		fset:    token.NewFileSet(),
 		modRoot: modRoot,
 		modPath: modPath,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}
-	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	l.fset, l.std = sharedStdImporter()
 	return l
 }
 
@@ -213,9 +246,16 @@ func (l *Loader) loadFrom(path, dir string) (*Package, error) {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
-			names = append(names, name)
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
 		}
+		// Respect //go:build constraints and GOOS/GOARCH file suffixes the
+		// same way the go tool does: an excluded file must not contribute
+		// declarations (or findings) to the package.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil || !ok {
+			continue
+		}
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	if len(names) == 0 {

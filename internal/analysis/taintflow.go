@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// taintflow mechanizes the paper's core invariant interprocedurally:
+// bytes a misbehaving authority (or a misbehaving RTR peer) controls must
+// never reach an output path without passing a bounding or verifying
+// check, no matter how many helpers they cross on the way.
+//
+// Classification is part built-in, part declared in the code:
+//
+//   - Sources produce attacker-controlled bytes: any function that reads
+//     directly from a net.Conn-like value, any Fuzz* target, and any
+//     function marked "//taint:source <what>" (pack-file readers,
+//     replication-frame decoders, repository protocol reads).
+//   - Sinks are where those bytes gain routing consequences: VRP emission,
+//     RTR frame serialization, last-known-good and module-memo commits —
+//     declared with "//taint:sink <what>" on the function.
+//   - Sanitizers bound or verify: Verify*/Check*/Validate* functions, any
+//     decoder whose body compares len(input) against a Max* limit (the
+//     bounded-decoder convention boundeddecode enforces), and functions
+//     marked "//taint:sanitizer <what>".
+//
+// Taint propagates over the whole-program call graph: a function that
+// calls a source carries that source's taint; a tainted function passes
+// taint to every callee it hands payload-capable data ([]byte, readers,
+// containers of either — see Call.CarriesBytes) except sanitizers, which
+// cleanse at the boundary. A function that itself sanitizes (by being, or
+// calling, a sanitizer) neither reports nor propagates — the analysis is
+// flow-insensitive within one function, and the convention is that
+// validation and use live in the same function body. Any remaining
+// source→sink path is a finding.
+//
+// A marker with an unknown kind or no description is itself a finding:
+// the taint surface is part of the threat model and must stay documented.
+var taintFlowRule = &Rule{
+	Name:       "taintflow",
+	Doc:        "attacker-controlled bytes reach an output sink with no bounding or verifying sanitizer on the call path",
+	RunProgram: runTaintFlow,
+}
+
+// taintClass is one function's role in the taint lattice.
+type taintClass struct {
+	source    bool
+	sink      bool
+	sanitizer bool
+}
+
+func runTaintFlow(pp *ProgramPass) {
+	prog := pp.Prog
+	classes := make(map[*types.Func]*taintClass)
+	classOf := func(fn *types.Func) *taintClass {
+		if c, ok := classes[fn]; ok {
+			return c
+		}
+		// Bodyless callees (stdlib, interface methods with no in-program
+		// implementation) classify by name convention only.
+		c := &taintClass{source: taintSourceName(fn.Name()), sanitizer: taintSanitizerName(fn.Name())}
+		classes[fn] = c
+		return c
+	}
+
+	for _, fi := range prog.Functions() {
+		c := &taintClass{
+			source:    taintSourceName(fi.Fn.Name()) || readsConnDirectly(fi),
+			sanitizer: taintSanitizerName(fi.Fn.Name()) || boundedDecoderLike(fi),
+		}
+		for _, m := range funcMarkers(fi.Decl, "taint") {
+			switch m.Kind {
+			case "source":
+				c.source = true
+			case "sink":
+				c.sink = true
+			case "sanitizer":
+				c.sanitizer = true
+			default:
+				pp.Reportf(m.Pos, "unknown taint marker %q: valid kinds are source, sink, sanitizer", m.Kind)
+				continue
+			}
+			if m.Reason == "" {
+				pp.Reportf(m.Pos, "//taint:%s has no description: the taint surface must document what the %s is", m.Kind, m.Kind)
+			}
+		}
+		classes[fi.Fn] = c
+	}
+
+	// cleansed: the function is a sanitizer or invokes one — its data is
+	// considered validated from here on (flow-insensitive by design).
+	cleansed := func(fi *FuncInfo) bool {
+		if classOf(fi.Fn).sanitizer {
+			return true
+		}
+		for _, call := range fi.Calls {
+			if classOf(call.Callee).sanitizer {
+				return true
+			}
+		}
+		return false
+	}
+
+	// carriers[f][origin] is the call path from origin's introduction
+	// point down to f (inclusive).
+	carriers := make(map[*types.Func]map[*types.Func][]*types.Func)
+	addOrigin := func(fn, origin *types.Func, path []*types.Func) bool {
+		m := carriers[fn]
+		if m == nil {
+			m = make(map[*types.Func][]*types.Func)
+			carriers[fn] = m
+		}
+		if _, ok := m[origin]; ok {
+			return false
+		}
+		m[origin] = path
+		return true
+	}
+
+	var queue []*types.Func
+	for _, fi := range prog.Functions() {
+		c := classOf(fi.Fn)
+		if c.source && !c.sanitizer {
+			if addOrigin(fi.Fn, fi.Fn, []*types.Func{fi.Fn}) {
+				queue = append(queue, fi.Fn)
+			}
+			continue
+		}
+		for _, call := range fi.Calls {
+			cc := classOf(call.Callee)
+			if cc.source && !cc.sanitizer {
+				if addOrigin(fi.Fn, call.Callee, []*types.Func{call.Callee, fi.Fn}) {
+					queue = append(queue, fi.Fn)
+				}
+				break
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fi := prog.Funcs[fn]
+		if fi == nil || cleansed(fi) {
+			continue
+		}
+		origins := sortedOrigins(carriers[fn])
+		for _, call := range fi.Calls {
+			callee := call.Callee
+			// Taint travels only where payload bytes can: calls passing no
+			// byte-capable data (orchestration, parsed-value installs) do
+			// not carry it.
+			if !call.CarriesBytes || prog.Funcs[callee] == nil || classOf(callee).sanitizer {
+				continue
+			}
+			grew := false
+			for _, o := range origins {
+				if addOrigin(callee, o, append(append([]*types.Func{}, carriers[fn][o]...), callee)) {
+					grew = true
+				}
+			}
+			if grew {
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for _, fi := range prog.Functions() {
+		m := carriers[fi.Fn]
+		if len(m) == 0 || cleansed(fi) {
+			continue
+		}
+		origins := sortedOrigins(m)
+		reported := make(map[token.Pos]bool)
+		for _, call := range fi.Calls {
+			if !classOf(call.Callee).sink || reported[call.Pos] {
+				continue
+			}
+			reported[call.Pos] = true
+			origin := origins[0]
+			names := make([]string, 0, len(m[origin])+1)
+			for _, f := range m[origin] {
+				names = append(names, FuncDisplayName(f))
+			}
+			names = append(names, FuncDisplayName(call.Callee))
+			pp.Reportf(call.Pos,
+				"attacker-controlled bytes from %s reach sink %s with no sanitizer on the path %s: misbehaving-authority input must be bounded and verified before it has routing consequences",
+				FuncDisplayName(origin), FuncDisplayName(call.Callee), strings.Join(names, " → "))
+		}
+	}
+}
+
+// sortedOrigins orders an origin set by display name then position for
+// deterministic findings.
+func sortedOrigins(m map[*types.Func][]*types.Func) []*types.Func {
+	out := make([]*types.Func, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := FuncDisplayName(out[i]), FuncDisplayName(out[j])
+		if a != b {
+			return a < b
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}
+
+func taintSourceName(name string) bool { return strings.HasPrefix(name, "Fuzz") }
+
+func taintSanitizerName(name string) bool {
+	for _, prefix := range []string{"Verify", "Check", "Validate"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// readsConnDirectly reports whether fi's body reads bytes straight off a
+// net.Conn-like value: a ".Read"-family method call on a conn, or
+// io.ReadFull/io.ReadAll handed one.
+func readsConnDirectly(fi *FuncInfo) bool {
+	info := fi.Pkg.Info
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Read", "ReadFull", "ReadByte", "ReadBytes":
+			if t := info.TypeOf(sel.X); t != nil && isConnLike(t) {
+				found = true
+				return false
+			}
+		case "ReadAll":
+			if len(call.Args) == 1 {
+				if t := info.TypeOf(call.Args[0]); t != nil && isConnLike(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		if sel.Sel.Name == "ReadFull" && len(call.Args) >= 1 {
+			if t := info.TypeOf(call.Args[0]); t != nil && isConnLike(t) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// boundedDecoderLike reports whether fi enforces a Max* length limit on a
+// []byte parameter — the bounded-decoder convention, which counts as
+// sanitizing its input.
+func boundedDecoderLike(fi *FuncInfo) bool {
+	info := fi.Pkg.Info
+	for _, param := range byteSliceParams(info, fi.Decl) {
+		obj := info.Defs[param]
+		if obj == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if bin, ok := n.(*ast.BinaryExpr); ok && isLimitGuard(info, bin, obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

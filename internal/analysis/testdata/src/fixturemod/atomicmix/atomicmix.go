@@ -1,0 +1,48 @@
+// Package atomicmix exercises the whole-program atomicmix rule: fields
+// and package variables touched through sync/atomic in one function and
+// with plain loads/stores in another.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	n uint64
+	m uint64
+}
+
+// IncAtomic bumps n through sync/atomic.
+func (c *Counter) IncAtomic() { atomic.AddUint64(&c.n, 1) }
+
+// ReadPlain reads the same field with a plain load: a silent race.
+func (c *Counter) ReadPlain() uint64 { return c.n }
+
+// IncM only ever touches m plainly: no finding.
+func (c *Counter) IncM() { c.m++ }
+
+// NewCounter initializes before publication: constructor accesses are
+// exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+var total uint64
+
+func bumpTotal() { atomic.AddUint64(&total, 1) }
+
+// totalPlain mixes a plain read of the package variable.
+func totalPlain() uint64 { return total }
+
+// readSuppressed documents its plain read with a well-formed suppression.
+func readSuppressed(c *Counter) uint64 {
+	//lint:ignore atomicmix fixture: snapshot read while writers are quiesced
+	return c.n
+}
+
+// readBad tries to suppress without a reason: the directive is itself a
+// finding and silences nothing.
+func readBad(c *Counter) uint64 {
+	//lint:ignore atomicmix
+	return c.n
+}

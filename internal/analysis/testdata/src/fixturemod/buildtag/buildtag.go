@@ -1,0 +1,6 @@
+// Package buildtag verifies the loader honors //go:build constraints: the
+// sibling excluded.go file carries findings but must never be loaded.
+package buildtag
+
+// Clean does nothing objectionable.
+func Clean() int { return 1 }

@@ -1,0 +1,15 @@
+//go:build neverbuild
+
+// This file is excluded by its build constraint. If the loader ever picks
+// it up, the discarded Verify error below becomes an uncheckedverify
+// finding and the loader test fails.
+package buildtag
+
+import "errors"
+
+// VerifyNothing always fails.
+func VerifyNothing() error { return errors.New("excluded file") }
+
+func dropped() {
+	VerifyNothing()
+}

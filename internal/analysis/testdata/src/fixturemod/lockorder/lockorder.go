@@ -1,0 +1,126 @@
+// Package lockorder exercises the interprocedural lockorder rule:
+// inconsistent acquisition order across two call chains, re-entry through
+// a callee, and blocking operations (channels, conn I/O) under a held
+// lock — including the variants only visible through the call graph.
+package lockorder
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// lockAB takes A.mu then B.mu.
+func (a *A) lockAB(b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA takes B.mu then — through a callee — A.mu: the opposite order,
+// closing the cycle.
+func (b *B) lockBA(a *A) {
+	b.mu.Lock()
+	lockA(a)
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+// outer re-enters its own lock through inner: self-deadlock.
+func (c *C) outer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner()
+}
+
+func (c *C) inner() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// double locks the same mutex twice directly.
+func (c *C) double() {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type D struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// blockSend performs a blocking channel send under the lock.
+func (d *D) blockSend(v int) {
+	d.mu.Lock()
+	d.ch <- v
+	d.mu.Unlock()
+}
+
+// okSend uses a non-blocking select: no finding.
+func (d *D) okSend(v int) {
+	d.mu.Lock()
+	select {
+	case d.ch <- v:
+	default:
+	}
+	d.mu.Unlock()
+}
+
+// viaCallee blocks through a callee: only the call graph sees it.
+func (d *D) viaCallee() {
+	d.mu.Lock()
+	d.waitOne()
+	d.mu.Unlock()
+}
+
+func (d *D) waitOne() { <-d.ch }
+
+// connWrite writes to a conn while holding the lock.
+func (d *D) connWrite(c net.Conn, b []byte) {
+	if c.SetDeadline(time.Time{}) != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := c.Write(b); err != nil {
+		return
+	}
+}
+
+// unlockedSend releases before sending: no finding.
+func (d *D) unlockedSend(v int) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.ch <- v
+}
+
+// sendSuppressed documents its blocking send with a well-formed
+// suppression.
+func (d *D) sendSuppressed(v int) {
+	d.mu.Lock()
+	//lint:ignore lockorder fixture: send is bounded by the test harness
+	d.ch <- v
+	d.mu.Unlock()
+}
+
+// sendBad tries to suppress without a reason: the directive is itself a
+// finding and silences nothing.
+func (d *D) sendBad(v int) {
+	d.mu.Lock()
+	//lint:ignore lockorder
+	d.ch <- v
+	d.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package taint exercises the interprocedural taintflow rule: flows from
+// the wire subpackage's source cross this package's helpers before
+// reaching the sink, so only a whole-program analysis can see them.
+package taint
+
+import (
+	"net"
+	"time"
+
+	"fixturemod/taint/wire"
+)
+
+// relay reads a frame and forwards it with no validation anywhere on the
+// chain: the finding lands on forward's Emit call.
+func relay() { forward(wire.ReadFrame()) }
+
+func forward(b []byte) { wire.Emit(b) }
+
+// checked validates the frame before emitting: the sanitizer call
+// cleanses the function, no finding.
+func checked() {
+	b := wire.ReadFrame()
+	if wire.VerifyFrame(b) != nil {
+		return
+	}
+	wire.Emit(b)
+}
+
+// bounded uses the marker-declared sanitizer.
+func bounded() {
+	wire.Emit(wire.BoundFrame(wire.ReadFrame()))
+}
+
+// FuzzParse is a source by naming convention and emits directly.
+func FuzzParse() { wire.Emit(nil) }
+
+// readConn is a source by the built-in rule: it reads bytes straight off
+// a net.Conn.
+func readConn(c net.Conn) []byte {
+	if c.SetDeadline(time.Time{}) != nil {
+		return nil
+	}
+	b := make([]byte, 64)
+	if _, err := c.Read(b); err != nil {
+		return nil
+	}
+	return b
+}
+
+func connFlow(c net.Conn) { wire.Emit(readConn(c)) }
+
+// relayOK documents its flow with a well-formed suppression.
+func relayOK() { forwardOK(wire.ReadFrame()) }
+
+func forwardOK(b []byte) {
+	//lint:ignore taintflow fixture: intentionally unsanitized flow under test
+	wire.Emit(b)
+}
+
+// relayBad tries to suppress without a reason: the suppression is itself
+// a finding and silences nothing.
+func relayBad() { forwardBad(wire.ReadFrame()) }
+
+func forwardBad(b []byte) {
+	//lint:ignore taintflow
+	wire.Emit(b)
+}

@@ -1,0 +1,35 @@
+// Package wire declares the taint roles for the fixture flows in the
+// parent package: a marked source, a marked sink, sanitizers by name and
+// by marker, and the malformed-marker cases.
+package wire
+
+// ReadFrame returns one frame off the peer connection.
+//
+//taint:source bytes a misbehaving peer controls
+func ReadFrame() []byte { return []byte{0} }
+
+// Emit hands a serialized frame to routers.
+//
+//taint:sink frames routers act on
+func Emit(b []byte) { _ = b }
+
+// VerifyFrame is a sanitizer by naming convention.
+func VerifyFrame(b []byte) error {
+	_ = b
+	return nil
+}
+
+// BoundFrame is a sanitizer by marker.
+//
+//taint:sanitizer structural bounds check before use
+func BoundFrame(b []byte) []byte { return b }
+
+// Gadget carries an unknown marker kind.
+//
+//taint:gadget not a valid role
+func Gadget() {}
+
+// NakedSource has a marker with no description.
+//
+//taint:source
+func NakedSource() []byte { return nil }

@@ -180,9 +180,24 @@ func (a *Authority) CRLFileName() string { return a.Name + ".crl" }
 // publish into childStore at childURI. The child's certificate is published
 // in *this* authority's repository (objects live with their issuer), and the
 // child's SIA points at its own publication point.
+//
+// Authority locks are acquired strictly upward — child before parent, never
+// the reverse — so the child's first republish (which takes child.mu) runs
+// only after a.mu is released.
 func (a *Authority) CreateChild(name string, resources ipres.Set, childStore *repo.Store, childURI repo.URI) (*Authority, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	child, err := a.createChildLocked(name, resources, childStore, childURI)
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := child.republish(); err != nil {
+		return nil, err
+	}
+	return child, nil
+}
+
+func (a *Authority) createChildLocked(name string, resources ipres.Set, childStore *repo.Store, childURI repo.URI) (*Authority, error) {
 	if _, dup := a.children[name]; dup {
 		return nil, fmt.Errorf("ca: %s already has child %q", a.Name, name)
 	}
@@ -222,10 +237,17 @@ func (a *Authority) CreateChild(name string, resources ipres.Set, childStore *re
 	if err := a.republishLocked(); err != nil {
 		return nil, err
 	}
-	if err := child.republish(); err != nil {
-		return nil, err
-	}
 	return child, nil
+}
+
+// setCert installs a certificate the parent reissued for this authority.
+// It takes a.mu, so the caller must hold no Authority lock — in particular
+// not the parent's: cert installs are deferred until after the parent's
+// critical section precisely to keep the child→parent lock order acyclic.
+func (a *Authority) setCert(c *cert.ResourceCert) {
+	a.mu.Lock()
+	a.Cert = c
+	a.mu.Unlock()
 }
 
 // issueChildCertLocked issues (or reissues) a child RC with the given

@@ -1,6 +1,8 @@
 package ca
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -440,5 +442,40 @@ func TestOpsOnUnknownNames(t *testing.T) {
 	}
 	if _, ok := ta.ChildResources("ghost"); ok {
 		t.Error("unknown child resources must fail")
+	}
+}
+
+// TestParentReissueDoesNotRaceChildPublish pins the cross-instance locking
+// protocol surfaced by the lockorder analysis: a parent reissuing a child's
+// certificate (RollKey, ShrinkChild) must install the child's new handle
+// under the CHILD's lock after releasing its own — never write child state
+// under only the parent's lock while the child publishes concurrently.
+// Run with -race, the pre-fix code fails here on sprint.Cert.
+func TestParentReissueDoesNotRaceChildPublish(t *testing.T) {
+	ta := newTA(t, "63.0.0.0/8")
+	sprint := addChild(t, ta, "sprint", "63.160.0.0/12")
+	for i := 0; i < 10; i++ {
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if err := ta.RollKey(); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := ta.ShrinkChild("sprint", ipres.MustParseSet("63.160.0.0/12")); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("r%d", i)
+			if _, err := sprint.IssueROA(name, 1239, roa.MustParsePrefix("63.160.0.0/12")); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		wg.Wait()
 	}
 }

@@ -59,27 +59,37 @@ func (a *Authority) DeleteChildCert(name string) error {
 // design decision.
 func (a *Authority) ShrinkChild(name string, newResources ipres.Set) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	rec, ok := a.children[name]
-	if !ok {
-		return fmt.Errorf("ca: %s has no child %q", a.Name, name)
-	}
-	if !a.Cert.IPSet().Covers(newResources) {
-		return fmt.Errorf("ca: %s cannot certify %v beyond its resources", a.Name, newResources.Subtract(a.Cert.IPSet()))
-	}
-	child := a.childAuthorityLocked(name)
-	if child == nil {
-		return fmt.Errorf("ca: %s child %q authority handle missing", a.Name, name)
-	}
-	newCert, err := a.issueChildCertLocked(child, newResources)
+	child, newCert, err := a.shrinkChildLocked(name, newResources)
+	a.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	// The child's handle is updated under the CHILD's lock, after ours is
+	// released: Authority locks are acquired child→parent only.
+	child.setCert(newCert)
+	return nil
+}
+
+func (a *Authority) shrinkChildLocked(name string, newResources ipres.Set) (*Authority, *cert.ResourceCert, error) {
+	rec, ok := a.children[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("ca: %s has no child %q", a.Name, name)
+	}
+	if !a.Cert.IPSet().Covers(newResources) {
+		return nil, nil, fmt.Errorf("ca: %s cannot certify %v beyond its resources", a.Name, newResources.Subtract(a.Cert.IPSet()))
+	}
+	child := a.childAuthorityLocked(name)
+	if child == nil {
+		return nil, nil, fmt.Errorf("ca: %s child %q authority handle missing", a.Name, name)
+	}
+	newCert, err := a.issueChildCertLocked(child, newResources)
+	if err != nil {
+		return nil, nil, err
+	}
 	rec.cert = newCert
 	rec.resources = newResources
-	child.Cert = newCert
 	a.Store.Put(rec.fileName, newCert.Raw) // overwrite in place
-	return a.republishLocked()
+	return child, newCert, a.republishLocked()
 }
 
 // childAuthorities tracks the live child Authority handles so ShrinkChild
@@ -134,16 +144,38 @@ func (a *Authority) RevokedSerials() []string {
 	return out
 }
 
+// certUpdate is a child certificate reissued under the parent's lock whose
+// handle install is deferred until the parent's critical section ends.
+type certUpdate struct {
+	child *Authority
+	cert  *cert.ResourceCert
+}
+
 // RollKey performs an RFC 6489 key rollover: the authority generates a new
 // key, obtains a new certificate from its parent under the SAME subject and
 // publication point (overwriting the old one — the reason RPKI objects have
 // persistent, overwritable names), and reissues all of its signed products.
 func (a *Authority) RollKey() error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	newKey, err := cert.GenerateKeyPair(nil)
+	//lint:ignore lockorder the re-acquisition is a.Parent's mu, a distinct instance: Authority locks are acquired strictly child→parent and no path acquires a descendant's lock while holding its own, so the same-type identity cannot cycle
+	updates, err := a.rollKeyLocked()
+	a.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	// Install the children's reissued certificates under each child's own
+	// lock, now that ours is released (locks are acquired child→parent
+	// only — never downward).
+	for _, u := range updates {
+		u.child.setCert(u.cert)
+	}
+	return nil
+}
+
+func (a *Authority) rollKeyLocked() ([]certUpdate, error) {
+	newKey, err := cert.GenerateKeyPair(nil)
+	if err != nil {
+		return nil, err
 	}
 	oldKey := a.Key
 	a.Key = newKey
@@ -164,17 +196,21 @@ func (a *Authority) RollKey() error {
 		}, nil, newKey, newKey)
 		if err != nil {
 			a.Key = oldKey
-			return err
+			return nil, err
 		}
 		a.Cert = taCert
 		a.Store.Put(a.CertFileName(), taCert.Raw)
 	} else {
-		if err := a.Parent.reissueChild(a); err != nil {
+		newCert, err := a.Parent.reissueChild(a)
+		if err != nil {
 			a.Key = oldKey
-			return err
+			return nil, err
 		}
+		a.Cert = newCert
 	}
-	// Reissue every child certificate and ROA under the new key.
+	// Reissue every child certificate and ROA under the new key. The new
+	// handles are installed by the caller after a.mu is released.
+	var updates []certUpdate
 	for _, rec := range a.children {
 		child := a.childAuthorityLocked(rec.name)
 		if child == nil {
@@ -182,40 +218,42 @@ func (a *Authority) RollKey() error {
 		}
 		newCert, err := a.issueChildCertLocked(child, rec.resources)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rec.cert = newCert
-		child.Cert = newCert
+		updates = append(updates, certUpdate{child: child, cert: newCert})
 		a.Store.Put(rec.fileName, newCert.Raw)
 	}
 	for _, rec := range a.roas {
 		signed, eeCert, err := a.signROALocked(rec.roa, rec.fileName)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rec.eeCert = eeCert
 		a.Store.Put(rec.fileName, signed)
 	}
-	return a.republishLocked()
+	return updates, a.republishLocked()
 }
 
 // reissueChild reissues child's certificate (same resources, child's
-// current key), overwriting in place. Used during the child's key rollover.
-func (a *Authority) reissueChild(child *Authority) error {
+// current key), overwriting in place, and returns the new certificate for
+// the child to install under its own lock. The child's fields (Name, Key)
+// are read here under the child's lock: the only caller is the child's own
+// rollKeyLocked.
+func (a *Authority) reissueChild(child *Authority) (*cert.ResourceCert, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	rec, ok := a.children[child.Name]
 	if !ok {
-		return fmt.Errorf("ca: %s has no child %q", a.Name, child.Name)
+		return nil, fmt.Errorf("ca: %s has no child %q", a.Name, child.Name)
 	}
 	newCert, err := a.issueChildCertLocked(child, rec.resources)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rec.cert = newCert
-	child.Cert = newCert
 	a.Store.Put(rec.fileName, newCert.Raw)
-	return a.republishLocked()
+	return newCert, a.republishLocked()
 }
 
 // Child returns the live Authority handle for a direct child.

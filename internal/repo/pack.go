@@ -73,6 +73,8 @@ func WritePackFile(path string, files map[string][]byte) error {
 // ReadPackFile deserializes a pack file. The returned map's values are
 // zero-copy subslices of one backing buffer; callers must treat them as
 // read-only.
+//
+//taint:source pack bytes from a generator or a hostile disk image
 func ReadPackFile(path string) (map[string][]byte, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {

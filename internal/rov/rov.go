@@ -151,6 +151,8 @@ type Index struct {
 
 // NewIndex builds a classification index over the given VRPs. Duplicates
 // are tolerated.
+//
+//taint:sink the VRP index route-origin decisions are checked against
 func NewIndex(vrps ...VRP) *Index {
 	ix := &Index{byPrefix: make(map[ipres.Prefix][]VRP, len(vrps))}
 	seen := make(map[VRP]bool, len(vrps))

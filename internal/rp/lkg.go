@@ -38,6 +38,8 @@ func newLKGStore() *lkgStore {
 }
 
 // put commits a snapshot for module.
+//
+//taint:sink last-known-good snapshots served during authority outages
 func (s *lkgStore) put(module string, files map[string][]byte, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -140,6 +140,9 @@ func (m *moduleMemo) get(module string) *moduleEntry {
 	return m.entries[module]
 }
 
+// put commits a memoized module outcome.
+//
+//taint:sink memoized validation verdicts reused across runs
 func (m *moduleMemo) put(module string, e *moduleEntry) {
 	if m == nil {
 		return

@@ -65,6 +65,8 @@ type PDU struct {
 const headerLen = 8
 
 // Marshal encodes the PDU.
+//
+//taint:sink RTR frames routers act on
 func (p *PDU) Marshal() ([]byte, error) {
 	switch p.Type {
 	case TypeSerialNotify, TypeSerialQuery, TypeEndOfData:
@@ -124,6 +126,8 @@ func putHeader(buf []byte, typ uint8, session uint16, length uint32) {
 const maxPDULen = 64 << 10
 
 // ReadPDU reads and decodes one PDU from r.
+//
+//taint:source bytes a router or spoofed peer sends on the RTR socket
 func ReadPDU(r io.Reader) (*PDU, error) {
 	var header [headerLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
